@@ -1,0 +1,56 @@
+"""Ablation A-N — the naïve suffix-tree algorithm vs RIST/ViST.
+
+Section 3.2 motivates RIST/ViST by the cost of Algorithm 1: "searching
+for nodes satisfying both S-Ancestorship and D-Ancestorship is extremely
+costly since we need to traverse a large portion of the subtree for each
+match".  The paper asserts this without measuring it; this ablation puts
+numbers on the gap at a size the naïve algorithm can still finish.
+
+Expected: ViST (and RIST) answer the batch orders of magnitude faster
+than the naïve trie traversal, with identical results.
+"""
+
+import pytest
+
+from repro.bench.harness import Report, build_index
+from repro.datasets.synthetic import SyntheticConfig, SyntheticGenerator
+
+N_DOCS = 1200
+DOC_SIZE = 18
+QUERY_COUNT = 6
+QUERY_LENGTH = 4
+
+REPORT = Report(
+    experiment="ablation_naive",
+    title=f"Algorithm 1 vs Algorithm 2 (synthetic, N={N_DOCS}, L={DOC_SIZE})",
+    headers=["kind", "seconds_per_query"],
+    paper_note="(ablation) naive trie traversal should be far slower",
+)
+
+_results: dict[str, set] = {}
+
+
+@pytest.fixture(scope="module")
+def setup():
+    gen = SyntheticGenerator(
+        SyntheticConfig(height=6, fanout=4, doc_size=DOC_SIZE, seed=40)
+    )
+    docs = list(gen.documents(N_DOCS))
+    queries = gen.queries(QUERY_COUNT, size=QUERY_LENGTH)
+    return docs, queries
+
+
+@pytest.mark.parametrize("kind", ["naive", "rist", "vist"])
+def test_ablation_naive(benchmark, setup, kind):
+    docs, queries = setup
+    index = build_index(kind, docs)
+    benchmark.pedantic(
+        lambda: [index.query(q) for q in queries], rounds=2, iterations=1
+    )
+    answers = frozenset(
+        (i, doc_id) for i, q in enumerate(queries) for doc_id in index.query(q)
+    )
+    _results[kind] = answers
+    if len(_results) == 3:
+        assert _results["naive"] == _results["rist"] == _results["vist"]
+    REPORT.add(kind, benchmark.stats.stats.median / len(queries))

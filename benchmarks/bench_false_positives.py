@@ -1,0 +1,80 @@
+"""Ablation A-FP — false positives of raw ViST matching (soundness caveat).
+
+Not a paper experiment: later literature showed ViST's subsequence
+matching admits false positives for branch queries whose branches share
+``(symbol, prefix)`` pairs (see DESIGN.md §2).  This bench quantifies the
+effect on an adversarial corpus — documents where the query's branches
+are satisfied only across *different* sibling subtrees — and measures the
+cost of the tree-embedding verification filter that removes them.
+
+Expected: raw matching reports every adversarial document (100% FP rate
+on the planted fraction); verified mode returns exactly the true
+matches at a modest per-candidate cost.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.harness import Report, time_call
+from repro.doc.model import XmlNode
+from repro.index.vist import VistIndex
+from repro.sequence.transform import SequenceEncoder
+
+N_DOCS = 600
+TRUE_FRACTION = 0.3
+QUERY = "/A/B[C][D]"
+
+REPORT = Report(
+    experiment="false_positives",
+    title=f"raw vs verified ViST on adversarial branches ({N_DOCS} docs)",
+    headers=["mode", "answers", "true_matches", "false_positives", "seconds"],
+    paper_note="(not in paper) raw matching over-reports; verification is exact",
+)
+
+
+def _true_doc() -> XmlNode:
+    a = XmlNode("A")
+    b = a.element("B")
+    b.element("C")
+    b.element("D")
+    return a
+
+
+def _adversarial_doc() -> XmlNode:
+    # C and D exist, but under different B siblings: /A/B[C][D] must fail.
+    a = XmlNode("A")
+    a.element("B").element("C")
+    a.element("B").element("D")
+    return a
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = random.Random(5)
+    index = VistIndex(SequenceEncoder())
+    truth = set()
+    for _ in range(N_DOCS):
+        if rng.random() < TRUE_FRACTION:
+            truth.add(index.add(_true_doc()))
+        else:
+            index.add(_adversarial_doc())
+    return index, truth
+
+
+def test_raw_matching_over_reports(benchmark, setup):
+    index, truth = setup
+    result = benchmark.pedantic(lambda: index.query(QUERY), rounds=2, iterations=1)
+    fps = len(set(result) - truth)
+    assert set(result) >= truth  # no false negatives here
+    assert fps > 0  # the documented unsoundness is observable
+    REPORT.add("raw", len(result), len(truth), fps, benchmark.stats.stats.median)
+
+
+def test_verified_matching_is_exact(benchmark, setup):
+    index, truth = setup
+    result = benchmark.pedantic(
+        lambda: index.query(QUERY, verify=True), rounds=2, iterations=1
+    )
+    assert set(result) == truth
+    REPORT.add("verified", len(result), len(truth), 0, benchmark.stats.stats.median)

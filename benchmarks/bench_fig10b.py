@@ -1,0 +1,61 @@
+"""Figure 10(b) — query processing time vs data size (synthetic).
+
+Paper setup: sequences of average length 60, dataset sizes 2M–12M
+elements, queries of length 6.  Paper finding: "our index structure
+scales up sub-linearly with the increase of data size".
+
+Scaled here to 500–4,000 sequences.  The report includes the ratio of
+query time to data size so sub-linearity is visible at a glance: the
+normalised column should *fall* (or stay flat) as N grows.
+"""
+
+import pytest
+
+from repro.bench.harness import Report, build_index
+from repro.datasets.synthetic import SyntheticConfig, SyntheticGenerator
+
+DOC_SIZE = 60
+DATA_SIZES = [500, 1000, 2000, 4000]
+QUERY_LENGTH = 6
+QUERY_COUNT = 8
+
+REPORT = Report(
+    experiment="fig10b",
+    title=f"query time vs data size (synthetic, L={DOC_SIZE}, query length {QUERY_LENGTH})",
+    headers=["n_docs", "seconds_per_query", "sec_per_query_per_1k_docs"],
+    bar_column=1,
+    paper_note="sub-linear scale-up: normalised column should fall with N",
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    indexes = {}
+    queries = None
+    for n in DATA_SIZES:
+        gen = SyntheticGenerator(SyntheticConfig(doc_size=DOC_SIZE, seed=20))
+        docs = list(gen.documents(n))
+        indexes[n] = build_index("vist", docs)
+        if queries is None:
+            # one fixed workload, drawn from the smallest corpus so every
+            # query matches at every data size (corpora share a prefix)
+            queries = gen.matching_queries(docs, QUERY_COUNT, size=QUERY_LENGTH)
+    return indexes, queries
+
+
+@pytest.mark.parametrize("n", DATA_SIZES)
+def test_fig10b_data_size(benchmark, setup, n):
+    from repro.index.matching import SequenceMatcher
+
+    indexes, queries = setup
+    index = indexes[n]
+    matcher = SequenceMatcher(index)
+    batch = [alt for q in queries for alt in index.translator.translate(q)]
+    # matching phase only, excluding DocId output (as the paper measures)
+    benchmark.pedantic(
+        lambda: [matcher.final_scopes(qseq) for qseq in batch],
+        rounds=2,
+        iterations=1,
+    )
+    per_query = benchmark.stats.stats.median / len(queries)
+    REPORT.add(n, per_query, per_query / (n / 1000))

@@ -1,0 +1,37 @@
+"""Figure 11(b) — index construction time vs dataset size.
+
+Paper setup: synthetic data with k=10, j=8, L=32; Figure 11(b) "shows
+linear index construction time on synthetic datasets" up to 60M
+elements.  Scaled here to 500–4,000 sequences; the normalised column
+(seconds per 1,000 documents) should stay roughly flat if construction
+is linear.
+"""
+
+import pytest
+
+from repro.bench.harness import Report, build_index
+from repro.datasets.synthetic import SyntheticConfig, SyntheticGenerator
+
+DOC_SIZE = 32
+DATA_SIZES = [500, 1000, 2000, 4000]
+
+REPORT = Report(
+    experiment="fig11b",
+    title=f"ViST construction time vs dataset size (synthetic, L={DOC_SIZE})",
+    headers=["n_docs", "elements", "build_seconds", "sec_per_1k_docs"],
+    bar_column=2,
+    paper_note="construction time is linear in dataset size (flat normalised col)",
+)
+
+
+@pytest.mark.parametrize("n", DATA_SIZES)
+def test_fig11b_construction(benchmark, n):
+    gen = SyntheticGenerator(SyntheticConfig(doc_size=DOC_SIZE, seed=30))
+    docs = list(gen.documents(n))
+
+    def build():
+        return build_index("vist", docs)
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    seconds = benchmark.stats.stats.median
+    REPORT.add(n, n * DOC_SIZE, seconds, seconds / (n / 1000))

@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Every benchmark module emits a paper-style report table at teardown; the
+corpora are scaled down from the paper's testbed (a 2003 C++/Berkeley DB
+system on a 662 MHz machine) to laptop-Python sizes — DESIGN.md explains
+why the *shapes* survive the substitution even though absolute numbers
+do not.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_module_report(request):
+    """Emit the module's ``REPORT`` (if defined) after its benchmarks ran."""
+    yield
+    report = getattr(request.module, "REPORT", None)
+    if report is not None and report.rows:
+        report.emit()

@@ -1,0 +1,8 @@
+"""Shim so `pip install -e .` works on environments without the wheel package.
+
+All real metadata lives in pyproject.toml; setuptools reads it from there.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Comparison baselines: Index Fabric-like path index, XISS-like node
+index, and APEX-like length-2 path index."""
+
+from repro.baselines.apex import ApexIndex
+from repro.baselines.joins import merge_doc_ids, structural_semijoin
+from repro.baselines.labels import Occurrence, sequence_occurrences
+from repro.baselines.nodeindex import XissIndex
+from repro.baselines.pathindex import PathIndex
+
+__all__ = [
+    "PathIndex",
+    "XissIndex",
+    "ApexIndex",
+    "Occurrence",
+    "sequence_occurrences",
+    "structural_semijoin",
+    "merge_doc_ids",
+]

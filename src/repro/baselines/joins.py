@@ -1,0 +1,53 @@
+"""Structural joins over extended-preorder occurrence lists.
+
+The baselines answer branching/wildcard queries the way the paper
+describes: "disassemble a query into multiple sub-queries, and then join
+the results" — precisely the cost ViST avoids.  Occurrence lists are
+sorted by ``(doc_id, start)``; :func:`structural_semijoin` keeps the
+ancestors (or parents) that contain at least one occurrence from the
+inner list, which is all a document-membership query needs when queries
+are evaluated bottom-up.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.baselines.labels import Occurrence
+
+__all__ = ["structural_semijoin", "merge_doc_ids"]
+
+
+def structural_semijoin(
+    outer: list[Occurrence],
+    inner: list[Occurrence],
+    *,
+    parent_child: bool = False,
+) -> list[Occurrence]:
+    """Ancestor–descendant (or parent–child) semi-join.
+
+    Returns the outer occurrences having at least one inner occurrence in
+    their subtree.  Both inputs must be sorted by ``(doc_id, start)``;
+    the output preserves that order.  Complexity is
+    ``O(|outer| * log |inner| + matches)``.
+    """
+    if not outer or not inner:
+        return []
+    keys = [(occ.doc_id, occ.start) for occ in inner]
+    result: list[Occurrence] = []
+    for anc in outer:
+        idx = bisect_right(keys, (anc.doc_id, anc.start))
+        while idx < len(inner):
+            desc = inner[idx]
+            if desc.doc_id != anc.doc_id or desc.start > anc.end:
+                break
+            if not parent_child or desc.level == anc.level + 1:
+                result.append(anc)
+                break
+            idx += 1
+    return result
+
+
+def merge_doc_ids(occurrences: list[Occurrence]) -> set[int]:
+    """Distinct document ids of an occurrence list."""
+    return {occ.doc_id for occ in occurrences}

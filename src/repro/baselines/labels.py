@@ -1,0 +1,67 @@
+"""Extended preorder labels for the baseline indexes.
+
+XISS (Li & Moon, VLDB 2001) and the Index Fabric re-implementation label
+every document node with ``(start, end, level)``: ``start`` is the
+preorder number, ``end`` the preorder number of the last node in the
+subtree, ``level`` the depth.  ``a`` is an ancestor of ``d`` iff
+``a.start < d.start <= a.end`` (same document), and the parent iff
+additionally ``d.level == a.level + 1``.
+
+The labels are derived directly from a structure-encoded sequence — a
+preorder listing with depths — so the baselines ingest the very same
+representation ViST does, keeping the comparison apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Union
+
+from repro.sequence.encoding import StructureEncodedSequence
+
+__all__ = ["Occurrence", "sequence_occurrences"]
+
+
+class Occurrence(NamedTuple):
+    """One labelled node occurrence inside one document."""
+
+    doc_id: int
+    start: int
+    end: int
+    level: int
+
+    def contains(self, other: "Occurrence") -> bool:
+        """Ancestor test (same document, strict containment)."""
+        return (
+            self.doc_id == other.doc_id
+            and self.start < other.start <= self.end
+        )
+
+    def is_parent_of(self, other: "Occurrence") -> bool:
+        return self.contains(other) and other.level == self.level + 1
+
+
+def sequence_occurrences(
+    sequence: StructureEncodedSequence, doc_id: int
+) -> list[tuple[Union[str, int], tuple[str, ...], Occurrence]]:
+    """Label every item of a sequence: ``(symbol, prefix, occurrence)``.
+
+    ``start`` is the item's position; ``end`` spans the item's subtree
+    (for value leaves, ``end == start``); ``level`` is the prefix length.
+    """
+    items = sequence.items
+    n = len(items)
+    ends = [0] * n
+    stack: list[int] = []  # indexes of open elements
+    for i, item in enumerate(items):
+        depth = len(item.prefix)
+        while stack and len(items[stack[-1]].prefix) >= depth:
+            ends[stack.pop()] = i - 1
+        ends[i] = i  # provisional: leaf until proven otherwise
+        if not item.is_value:
+            stack.append(i)
+    while stack:
+        ends[stack.pop()] = n - 1
+    return [
+        (item.symbol, item.prefix, Occurrence(doc_id, i, ends[i], len(item.prefix)))
+        for i, item in enumerate(items)
+    ]

@@ -1,0 +1,53 @@
+"""Query workloads for the benchmark suite.
+
+``TABLE3_QUERIES`` are the eight queries of paper Table 3 (Q1–Q5 over
+DBLP, Q6–Q8 over XMark), expressed in this package's XPath subset.  The
+synthetic workloads (random structural queries of a given length) come
+from :class:`~repro.datasets.synthetic.SyntheticGenerator` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.dblp import MAIER_KEY
+from repro.datasets.xmark import TARGET_DATE
+
+__all__ = ["Table3Query", "TABLE3_QUERIES"]
+
+
+@dataclass(frozen=True)
+class Table3Query:
+    """One row of paper Table 3."""
+
+    qid: str
+    dataset: str  # "dblp" | "xmark"
+    xpath: str
+    kind: str  # the paper's characterisation of the query
+
+
+TABLE3_QUERIES = [
+    Table3Query("Q1", "dblp", "/inproceedings/title", "single path"),
+    Table3Query("Q2", "dblp", "/book/author[text='David']", "path + value"),
+    Table3Query("Q3", "dblp", "/*/author[text='David']", "star + value"),
+    Table3Query("Q4", "dblp", "//author[text='David']", "dslash + value"),
+    Table3Query("Q5", "dblp", f"/book[key='{MAIER_KEY}']/author", "branch"),
+    Table3Query(
+        "Q6",
+        "xmark",
+        f"/site//item[location='US']/mail/date[text='{TARGET_DATE}']",
+        "dslash + branch + values",
+    ),
+    Table3Query(
+        "Q7",
+        "xmark",
+        "/site//person/*/city[text='Pocatello']",
+        "dslash + star + value",
+    ),
+    Table3Query(
+        "Q8",
+        "xmark",
+        f"//closed_auction[*[person='person1']]/date[text='{TARGET_DATE}']",
+        "dslash + star branch + values",
+    ),
+]

@@ -1,0 +1,202 @@
+"""Command-line interface: build and query ViST indexes on disk.
+
+Usage::
+
+    python -m repro index  DBDIR file1.xml file2.xml ...
+                           [--schema schema.dtd] [--split item,person]
+    python -m repro query  DBDIR "/site//item[location='US']" [--verify]
+                           [--schema schema.dtd] [--show]
+    python -m repro stats  DBDIR
+
+``index`` creates (or extends) a persistent index under ``DBDIR``.
+``--split`` applies the paper's substructure splitting before indexing,
+one record per instance of the listed labels.  The DTD passed with
+``--schema`` fixes the sibling order and must be the same for indexing
+and querying; the CLI therefore stores a copy inside DBDIR and reuses it
+automatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.doc.parser import parse_document
+from repro.doc.schema import Schema
+from repro.doc.split import split_records
+from repro.errors import ReproError
+from repro.index.vist import VistIndex
+from repro.sequence.transform import SequenceEncoder
+from repro.storage.docstore import FileDocStore
+from repro.storage.pager import FilePager
+
+_SCHEMA_FILE = "schema.dtd"
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ViST XML index (SIGMOD 2003 reproduction)"
+    )
+    sub = parser.add_subparsers(required=True)
+
+    p_index = sub.add_parser("index", help="index XML files into DBDIR")
+    p_index.add_argument("dbdir", type=Path)
+    p_index.add_argument("files", type=Path, nargs="+")
+    p_index.add_argument("--schema", type=Path, help="DTD fixing sibling order")
+    p_index.add_argument(
+        "--split",
+        help="comma-separated record labels; split documents before indexing",
+    )
+    p_index.set_defaults(handler=_cmd_index)
+
+    p_query = sub.add_parser("query", help="run a structural query")
+    p_query.add_argument("dbdir", type=Path)
+    p_query.add_argument("xpath")
+    p_query.add_argument("--verify", action="store_true", help="exact mode")
+    p_query.add_argument(
+        "--show", action="store_true", help="print each matching record's sequence"
+    )
+    p_query.add_argument(
+        "--show-xml", action="store_true", help="print each matching record's XML"
+    )
+    p_query.set_defaults(handler=_cmd_query)
+
+    p_nodes = sub.add_parser("nodes", help="node-granularity query results")
+    p_nodes.add_argument("dbdir", type=Path)
+    p_nodes.add_argument("xpath")
+    p_nodes.set_defaults(handler=_cmd_nodes)
+
+    p_remove = sub.add_parser("remove", help="delete documents by id")
+    p_remove.add_argument("dbdir", type=Path)
+    p_remove.add_argument("doc_ids", type=int, nargs="+")
+    p_remove.set_defaults(handler=_cmd_remove)
+
+    p_stats = sub.add_parser("stats", help="index size statistics")
+    p_stats.add_argument("dbdir", type=Path)
+    p_stats.set_defaults(handler=_cmd_stats)
+    return parser
+
+
+def _open_index(dbdir: Path, schema_path: Optional[Path] = None) -> VistIndex:
+    dbdir.mkdir(parents=True, exist_ok=True)
+    stored_schema = dbdir / _SCHEMA_FILE
+    if schema_path is not None:
+        stored_schema.write_text(schema_path.read_text())
+    schema = None
+    if stored_schema.exists():
+        schema = Schema.from_dtd(stored_schema.read_text())
+    return VistIndex(
+        SequenceEncoder(schema=schema),
+        docstore=FileDocStore(dbdir / "docs.dat"),
+        pager=FilePager(dbdir / "vist.db"),
+        source_store=FileDocStore(dbdir / "sources.dat"),
+    )
+
+
+def _close_index(index: VistIndex) -> None:
+    index.flush()
+    index.close()
+    index.docstore.close()
+    if index.source_store is not None:
+        index.source_store.close()
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    index = _open_index(args.dbdir, args.schema)
+    split_labels = (
+        [label.strip() for label in args.split.split(",") if label.strip()]
+        if args.split
+        else None
+    )
+    indexed = 0
+    try:
+        for path in args.files:
+            document = parse_document(path.read_text(), name=str(path))
+            if split_labels:
+                for record in split_records(document.root, split_labels):
+                    index.add(record)
+                    indexed += 1
+            else:
+                index.add(document)
+                indexed += 1
+    finally:
+        _close_index(index)
+    print(f"indexed {indexed} record(s) into {args.dbdir}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = _open_index(args.dbdir)
+    try:
+        result = index.query(args.xpath, verify=args.verify)
+        mode = "verified" if args.verify else "raw"
+        print(f"{len(result)} match(es) ({mode}): {result}")
+        if args.show:
+            for doc_id in result:
+                sequence = index.load_sequence(doc_id)
+                print(f"  doc {doc_id}: {sequence.preorder_string()}")
+        if args.show_xml:
+            for doc_id in result:
+                print(f"-- doc {doc_id} --")
+                print(index.get_document(doc_id).to_xml())
+    finally:
+        _close_index(index)
+    return 0
+
+
+def _cmd_nodes(args: argparse.Namespace) -> int:
+    index = _open_index(args.dbdir)
+    try:
+        result = index.query_nodes(args.xpath)
+        total = sum(len(v) for v in result.values())
+        print(f"{total} node(s) in {len(result)} document(s)")
+        for doc_id, positions in sorted(result.items()):
+            sequence = index.load_sequence(doc_id)
+            rendered = ", ".join(
+                f"{p}:{sequence[p].symbol}" for p in positions
+            )
+            print(f"  doc {doc_id}: {rendered}")
+    finally:
+        _close_index(index)
+    return 0
+
+
+def _cmd_remove(args: argparse.Namespace) -> int:
+    index = _open_index(args.dbdir)
+    removed = 0
+    try:
+        for doc_id in args.doc_ids:
+            index.remove(doc_id)
+            removed += 1
+    finally:
+        _close_index(index)
+        print(f"removed {removed} document(s)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    index = _open_index(args.dbdir)
+    try:
+        print(f"documents: {len(index)}")
+        for name, stats in index.index_stats().items():
+            print(
+                f"{name}: {stats.entries} entries, {stats.total_pages} pages "
+                f"({stats.total_bytes / 1024:.0f} KiB), height {stats.height}"
+            )
+    finally:
+        _close_index(index)
+    return 0

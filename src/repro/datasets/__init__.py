@@ -1,0 +1,19 @@
+"""Dataset generators: synthetic (Section 4), DBLP-like, XMark-like."""
+
+from repro.datasets.dblp import MAIER_KEY, DblpConfig, DblpGenerator, dblp_schema
+from repro.datasets.synthetic import ROOT_LABEL, SyntheticConfig, SyntheticGenerator
+from repro.datasets.xmark import TARGET_DATE, XmarkConfig, XmarkGenerator, xmark_schema
+
+__all__ = [
+    "SyntheticConfig",
+    "SyntheticGenerator",
+    "ROOT_LABEL",
+    "DblpConfig",
+    "DblpGenerator",
+    "dblp_schema",
+    "MAIER_KEY",
+    "XmarkConfig",
+    "XmarkGenerator",
+    "xmark_schema",
+    "TARGET_DATE",
+]

@@ -1,0 +1,183 @@
+"""The paper's synthetic dataset (Section 4, "Synthetic").
+
+"The data generator is based conceptually on a tree of height k where
+each node has j sub nodes.  We generate a subtree of L nodes.  First we
+select the root node, then we randomly select the next node x from the
+tree, under the condition that x has not been selected, and x is a child
+node of a selected node.  We repeat this process N times to generate N
+data sequences of length L.  Random queries can be generated in the same
+way.  Since no semantic meaning is associated with this synthetic
+dataset, we collect statistics during data generation for dynamic
+labeling purposes."
+
+Conceptual-tree nodes are labelled by their child position (``e0`` ..
+``e{j-1}``), so different subtrees share labels the way real markup
+does.  The generator never materialises the conceptual tree (it has
+``j**k`` nodes); documents grow by expanding a random frontier slot.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.doc.model import XmlNode
+from repro.doc.stats import CorpusStats
+from repro.errors import DatasetError
+from repro.query.ast import QueryNode
+
+ROOT_LABEL = "r"
+
+__all__ = ["SyntheticConfig", "SyntheticGenerator", "ROOT_LABEL"]
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of the conceptual tree and of the generated subtrees.
+
+    Defaults are the paper's: ``k = 10``, ``j = 8``; Figure 10(a) uses
+    ``doc_size = 30``, Figure 10(b) ``doc_size = 60``, Figure 11(b)
+    ``doc_size = 32``.
+    """
+
+    height: int = 10
+    fanout: int = 8
+    doc_size: int = 30
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.height < 1:
+            raise DatasetError(f"height must be >= 1, got {self.height}")
+        if self.fanout < 1:
+            raise DatasetError(f"fanout must be >= 1, got {self.fanout}")
+        if self.doc_size < 1:
+            raise DatasetError(f"doc_size must be >= 1, got {self.doc_size}")
+        max_nodes = self._capacity(self.height, self.fanout)
+        if self.doc_size > max_nodes:
+            raise DatasetError(
+                f"doc_size {self.doc_size} exceeds the conceptual tree "
+                f"capacity {max_nodes} for height {self.height}"
+            )
+
+    @staticmethod
+    def _capacity(height: int, fanout: int) -> int:
+        total = 0
+        layer = 1
+        for _ in range(height):
+            total += layer
+            if total > 10**9:
+                return 10**9  # effectively unbounded
+            layer *= fanout
+        return total
+
+
+class SyntheticGenerator:
+    """Generates random-subtree documents and queries, collecting stats."""
+
+    def __init__(self, config: Optional[SyntheticConfig] = None) -> None:
+        self.config = config if config is not None else SyntheticConfig()
+        self._rng = random.Random(self.config.seed)
+        self.stats = CorpusStats()
+
+    def document(self, size: Optional[int] = None) -> XmlNode:
+        """One random subtree of the conceptual tree, as an XML document."""
+        return self._random_subtree(size if size is not None else self.config.doc_size)
+
+    def documents(self, count: int) -> Iterator[XmlNode]:
+        """``count`` documents; statistics accumulate in :attr:`stats`."""
+        from repro.doc.model import XmlDocument
+
+        for _ in range(count):
+            doc = self.document()
+            self.stats.observe(XmlDocument(doc))
+            yield doc
+
+    def query(self, size: int) -> QueryNode:
+        """A random structural query: a subtree converted to a query tree."""
+        subtree = self._random_subtree(size)
+        return self._to_query(subtree)
+
+    def queries(self, count: int, size: int) -> list[QueryNode]:
+        return [self.query(size) for _ in range(count)]
+
+    def query_from_document(self, document: XmlNode, size: int) -> QueryNode:
+        """A random query guaranteed to match ``document``.
+
+        Samples a random connected subtree (containing the root) of the
+        document and converts it to a query tree — the workload the
+        Figure 10 experiments need, where longer queries must still have
+        answers.
+        """
+        qroot = QueryNode(document.label)
+        frontier: list[tuple[QueryNode, XmlNode]] = [
+            (qroot, child) for child in document.children
+        ]
+        remaining = size - 1
+        while remaining > 0 and frontier:
+            slot = self._rng.randrange(len(frontier))
+            qparent, dnode = frontier.pop(slot)
+            qchild = qparent.add(QueryNode(dnode.label))
+            frontier.extend((qchild, grandchild) for grandchild in dnode.children)
+            remaining -= 1
+        return qroot
+
+    def matching_queries(
+        self, documents: list[XmlNode], count: int, size: int
+    ) -> list[QueryNode]:
+        """``count`` queries, each derived from a random document."""
+        return [
+            self.query_from_document(self._rng.choice(documents), size)
+            for _ in range(count)
+        ]
+
+    def nested_queries_from_document(
+        self, document: XmlNode, sizes: list[int]
+    ) -> dict[int, QueryNode]:
+        """Queries of several sizes where each smaller one is a prefix of
+        the larger (one random growth order, truncated per size) — the
+        Figure 10(a) workload, where query *length* is the only variable.
+        """
+        max_size = max(sizes)
+        attachments: list[tuple[int, str]] = []  # (parent node index, label)
+        frontier: list[tuple[int, XmlNode]] = [
+            (0, child) for child in document.children
+        ]
+        while frontier and len(attachments) < max_size - 1:
+            slot = self._rng.randrange(len(frontier))
+            parent_idx, dnode = frontier.pop(slot)
+            attachments.append((parent_idx, dnode.label))
+            node_idx = len(attachments)  # root is 0; k-th attachment is k
+            frontier.extend((node_idx, grandchild) for grandchild in dnode.children)
+        out: dict[int, QueryNode] = {}
+        for size in sizes:
+            nodes = [QueryNode(document.label)]
+            for parent_idx, label in attachments[: size - 1]:
+                nodes.append(nodes[parent_idx].add(QueryNode(label)))
+            out[size] = nodes[0]
+        return out
+
+    # -- internals -----------------------------------------------------------
+
+    def _random_subtree(self, size: int) -> XmlNode:
+        cfg = self.config
+        root = XmlNode(ROOT_LABEL)
+        # frontier entries: (parent_node, child_position, depth_of_child)
+        frontier: list[tuple[XmlNode, int, int]] = []
+        if cfg.height > 1:
+            frontier.extend((root, pos, 1) for pos in range(cfg.fanout))
+        for _ in range(size - 1):
+            if not frontier:
+                break
+            slot = self._rng.randrange(len(frontier))
+            parent, position, depth = frontier.pop(slot)
+            child = parent.element(f"e{position}")
+            if depth + 1 < cfg.height:
+                frontier.extend((child, pos, depth + 1) for pos in range(cfg.fanout))
+        return root
+
+    def _to_query(self, node: XmlNode) -> QueryNode:
+        qnode = QueryNode(node.label)
+        for child in node.children:
+            qnode.add(self._to_query(child))
+        return qnode

@@ -1,0 +1,22 @@
+"""XML document substrate: tree model, parser, schemas, corpus statistics."""
+
+from repro.doc.model import XmlDocument, XmlNode
+from repro.doc.parser import from_element_tree, parse_document, parse_fragment
+from repro.doc.schema import ChildSpec, ElementDecl, Occurs, Schema
+from repro.doc.split import split_document, split_records
+from repro.doc.stats import CorpusStats
+
+__all__ = [
+    "XmlDocument",
+    "XmlNode",
+    "parse_document",
+    "parse_fragment",
+    "from_element_tree",
+    "Schema",
+    "ElementDecl",
+    "ChildSpec",
+    "Occurs",
+    "CorpusStats",
+    "split_records",
+    "split_document",
+]

@@ -1,0 +1,178 @@
+"""XML document tree model.
+
+ViST treats an XML document as an ordered node-labelled tree in which
+elements, attributes and values are all nodes (paper Figure 3: attributes
+hang off their element, and each text/attribute value is a leaf under the
+element/attribute it belongs to).  :class:`XmlNode` is that tree;
+:class:`XmlDocument` wraps a root node with an optional document id and
+source name.
+
+The model is deliberately small: order matters (sequences are preorder
+traversals), attributes are stored in a dict but *materialised* as child
+nodes by :func:`XmlNode.expanded` so that downstream layers see one node
+kind, and values are plain strings (the hash function
+:func:`repro.sequence.vocabulary.hash_value` maps them to integers later).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import DocumentError
+
+__all__ = ["XmlNode", "XmlDocument"]
+
+
+@dataclass
+class XmlNode:
+    """One node of an XML document tree.
+
+    ``label`` is the element/attribute name.  ``text`` is the node's own
+    textual content (for mixed content we keep only the concatenated,
+    stripped text, which is all the paper's queries use).  ``attributes``
+    map attribute names to string values; ``children`` are sub-elements in
+    document order.
+    """
+
+    label: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    text: Optional[str] = None
+    children: list["XmlNode"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise DocumentError("XML node label must be non-empty")
+
+    # -- construction helpers -------------------------------------------
+
+    def add(self, child: "XmlNode") -> "XmlNode":
+        """Append a child and return it (enables fluent tree building)."""
+        self.children.append(child)
+        return child
+
+    def element(self, label: str, text: Optional[str] = None, **attributes: str) -> "XmlNode":
+        """Create, append and return a child element."""
+        return self.add(XmlNode(label, attributes=dict(attributes), text=text))
+
+    # -- traversal -------------------------------------------------------
+
+    def preorder(self) -> Iterator["XmlNode"]:
+        """Yield this node and all descendants in document (preorder) order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def expanded(self) -> "XmlNode":
+        """Return a copy with attributes and values lifted into child nodes.
+
+        This is the tree of paper Figure 3: each attribute ``name=value``
+        becomes a child node ``name`` holding a value leaf, and element
+        text becomes a value leaf.  Value leaves are flagged with
+        :attr:`is_value` via the ``#value`` convention: their label is the
+        literal text prefixed with ``"="`` so that labels and values can
+        never collide.
+        """
+        out = XmlNode(self.label)
+        for name in sorted(self.attributes):
+            attr = out.element(name)
+            attr.add(XmlNode(_value_label(self.attributes[name])))
+        if self.text is not None and self.text != "":
+            out.add(XmlNode(_value_label(self.text)))
+        for child in self.children:
+            out.add(child.expanded())
+        return out
+
+    @property
+    def is_value(self) -> bool:
+        """True if this node is a value leaf created by :meth:`expanded`."""
+        return self.label.startswith("=")
+
+    @property
+    def value(self) -> str:
+        """The text of a value leaf (raises for non-value nodes)."""
+        if not self.is_value:
+            raise DocumentError(f"node {self.label!r} is not a value leaf")
+        return self.label[1:]
+
+    # -- measurements ------------------------------------------------------
+
+    def size(self) -> int:
+        """Number of nodes in this subtree."""
+        return sum(1 for _ in self.preorder())
+
+    def depth(self) -> int:
+        """Height of this subtree (a leaf has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    # -- search (used by tests and the verification filter) --------------
+
+    def find_all(self, label: str) -> Iterator["XmlNode"]:
+        """Yield every descendant (including self) with the given label."""
+        return (node for node in self.preorder() if node.label == label)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_xml(self, indent: int = 0) -> str:
+        """Render as XML text (attributes sorted for determinism)."""
+        pad = "  " * indent
+        attrs = "".join(
+            f' {name}="{_escape_attr(value)}"' for name, value in sorted(self.attributes.items())
+        )
+        inner_parts: list[str] = []
+        if self.text:
+            inner_parts.append(_escape_text(self.text))
+        for child in self.children:
+            inner_parts.append("\n" + child.to_xml(indent + 1))
+        if not inner_parts:
+            return f"{pad}<{self.label}{attrs}/>"
+        inner = "".join(inner_parts)
+        if self.children:
+            inner += "\n" + pad
+        return f"{pad}<{self.label}{attrs}>{inner}</{self.label}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, XmlNode):
+            return NotImplemented
+        return (
+            self.label == other.label
+            and self.attributes == other.attributes
+            and (self.text or None) == (other.text or None)
+            and self.children == other.children
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"XmlNode({self.label!r}, children={len(self.children)})"
+
+
+@dataclass
+class XmlDocument:
+    """A parsed document: root node plus provenance."""
+
+    root: XmlNode
+    name: Optional[str] = None
+
+    def to_xml(self) -> str:
+        return self.root.to_xml()
+
+    def size(self) -> int:
+        return self.root.size()
+
+    def depth(self) -> int:
+        return self.root.depth()
+
+
+def _value_label(text: str) -> str:
+    return "=" + text.strip()
+
+
+def _escape_text(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _escape_attr(value: str) -> str:
+    return _escape_text(value).replace('"', "&quot;")

@@ -1,0 +1,254 @@
+"""A small XML parser producing :class:`~repro.doc.model.XmlNode` trees.
+
+The reproduction keeps its substrate self-contained, so this is a
+hand-written recursive-descent parser covering the XML subset the paper's
+datasets use: elements, attributes, character data, CDATA sections,
+comments, processing instructions, an XML declaration, a ``<!DOCTYPE ...>``
+prologue (skipped), and the five predefined entities plus numeric
+character references.
+
+It is *not* a validating parser — no DTD interpretation, no namespaces —
+but it round-trips everything :meth:`XmlNode.to_xml` produces and agrees
+with ``xml.etree.ElementTree`` on the corpora generated in this repo
+(tested in ``tests/test_parser.py``).  :func:`from_element_tree` bridges
+documents parsed by the standard library if callers prefer it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.doc.model import XmlDocument, XmlNode
+from repro.errors import XmlParseError
+
+# first char: a letter (any script), underscore or colon; never a digit
+_NAME_RE = re.compile(r"(?:[:_]|[^\W\d])[\w.\-:]*")
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+
+__all__ = ["parse_document", "parse_fragment", "from_element_tree"]
+
+
+def parse_document(text: str, name: Optional[str] = None) -> XmlDocument:
+    """Parse a complete XML document (prologue allowed, one root element)."""
+    return XmlDocument(root=parse_fragment(text), name=name)
+
+
+def parse_fragment(text: str) -> XmlNode:
+    """Parse XML text and return the root element node."""
+    parser = _Parser(text)
+    root = parser.parse()
+    return root
+
+
+def from_element_tree(element) -> XmlNode:
+    """Convert an ``xml.etree.ElementTree.Element`` into an :class:`XmlNode`."""
+    node = XmlNode(element.tag, attributes=dict(element.attrib))
+    text = (element.text or "").strip()
+    pieces = [text] if text else []
+    for child in element:
+        node.add(from_element_tree(child))
+        tail = (child.tail or "").strip()
+        if tail:
+            pieces.append(tail)
+    if pieces:
+        node.text = " ".join(pieces)
+    return node
+
+
+class _Parser:
+    """Single-pass recursive-descent parser over the input string."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    # -- entry point -----------------------------------------------------
+
+    def parse(self) -> XmlNode:
+        self._skip_prologue()
+        if self.pos >= self.length or self.text[self.pos] != "<":
+            raise self._error("expected a root element")
+        root = self._parse_element()
+        self._skip_misc()
+        if self.pos < self.length:
+            raise self._error("content after the root element")
+        return root
+
+    # -- prologue / misc ---------------------------------------------------
+
+    def _skip_prologue(self) -> None:
+        while True:
+            self._skip_whitespace()
+            if self.text.startswith("<?", self.pos):
+                self._skip_until("?>")
+            elif self.text.startswith("<!--", self.pos):
+                self._skip_until("-->")
+            elif self.text.startswith("<!DOCTYPE", self.pos):
+                self._skip_doctype()
+            else:
+                return
+
+    def _skip_misc(self) -> None:
+        while True:
+            self._skip_whitespace()
+            if self.text.startswith("<?", self.pos):
+                self._skip_until("?>")
+            elif self.text.startswith("<!--", self.pos):
+                self._skip_until("-->")
+            else:
+                return
+
+    def _skip_doctype(self) -> None:
+        # DOCTYPE may contain a bracketed internal subset.
+        depth = 0
+        i = self.pos
+        while i < self.length:
+            c = self.text[i]
+            if c == "[":
+                depth += 1
+            elif c == "]":
+                depth -= 1
+            elif c == ">" and depth <= 0:
+                self.pos = i + 1
+                return
+            i += 1
+        raise self._error("unterminated <!DOCTYPE ...>")
+
+    # -- element structure -------------------------------------------------
+
+    def _parse_element(self) -> XmlNode:
+        self._expect("<")
+        label = self._parse_name()
+        node = XmlNode(label)
+        self._parse_attributes(node)
+        if self._accept("/>"):
+            return node
+        self._expect(">")
+        self._parse_content(node)
+        return node
+
+    def _parse_attributes(self, node: XmlNode) -> None:
+        while True:
+            self._skip_whitespace()
+            if self.pos >= self.length:
+                raise self._error(f"unterminated start tag <{node.label}>")
+            if self.text[self.pos] in "/>":
+                return
+            name = self._parse_name()
+            self._skip_whitespace()
+            self._expect("=")
+            self._skip_whitespace()
+            quote = self.text[self.pos : self.pos + 1]
+            if quote not in ("'", '"'):
+                raise self._error(f"attribute {name!r} value must be quoted")
+            self.pos += 1
+            end = self.text.find(quote, self.pos)
+            if end < 0:
+                raise self._error(f"unterminated value for attribute {name!r}")
+            raw = self.text[self.pos : end]
+            self.pos = end + 1
+            if name in node.attributes:
+                raise self._error(f"duplicate attribute {name!r} on <{node.label}>")
+            node.attributes[name] = self._expand_entities(raw)
+
+    def _parse_content(self, node: XmlNode) -> None:
+        pieces: list[str] = []
+        while True:
+            if self.pos >= self.length:
+                raise self._error(f"unterminated element <{node.label}>")
+            if self.text.startswith("</", self.pos):
+                self.pos += 2
+                name = self._parse_name()
+                if name != node.label:
+                    raise self._error(
+                        f"mismatched end tag </{name}> for <{node.label}>"
+                    )
+                self._skip_whitespace()
+                self._expect(">")
+                break
+            if self.text.startswith("<!--", self.pos):
+                self._skip_until("-->")
+            elif self.text.startswith("<![CDATA[", self.pos):
+                end = self.text.find("]]>", self.pos + 9)
+                if end < 0:
+                    raise self._error("unterminated CDATA section")
+                pieces.append(self.text[self.pos + 9 : end])
+                self.pos = end + 3
+            elif self.text.startswith("<?", self.pos):
+                self._skip_until("?>")
+            elif self.text[self.pos] == "<":
+                node.add(self._parse_element())
+            else:
+                start = self.pos
+                nxt = self.text.find("<", self.pos)
+                if nxt < 0:
+                    raise self._error(f"unterminated element <{node.label}>")
+                pieces.append(self._expand_entities(self.text[start:nxt]))
+                self.pos = nxt
+        joined = " ".join(p.strip() for p in pieces if p.strip())
+        if joined:
+            node.text = joined
+
+    # -- lexical helpers ----------------------------------------------------
+
+    def _parse_name(self) -> str:
+        match = _NAME_RE.match(self.text, self.pos)
+        if not match:
+            raise self._error("expected a name")
+        self.pos = match.end()
+        return match.group()
+
+    def _expand_entities(self, raw: str) -> str:
+        if "&" not in raw:
+            return raw
+        out: list[str] = []
+        i = 0
+        while i < len(raw):
+            c = raw[i]
+            if c != "&":
+                out.append(c)
+                i += 1
+                continue
+            end = raw.find(";", i + 1)
+            if end < 0:
+                raise self._error("unterminated entity reference")
+            entity = raw[i + 1 : end]
+            if entity.startswith("#x") or entity.startswith("#X"):
+                out.append(chr(int(entity[2:], 16)))
+            elif entity.startswith("#"):
+                out.append(chr(int(entity[1:])))
+            elif entity in _ENTITIES:
+                out.append(_ENTITIES[entity])
+            else:
+                raise self._error(f"unknown entity &{entity};")
+            i = end + 1
+        return "".join(out)
+
+    def _skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def _skip_until(self, token: str) -> None:
+        end = self.text.find(token, self.pos)
+        if end < 0:
+            raise self._error(f"unterminated construct (missing {token!r})")
+        self.pos = end + len(token)
+
+    def _expect(self, token: str) -> None:
+        if not self.text.startswith(token, self.pos):
+            raise self._error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def _accept(self, token: str) -> bool:
+        self._skip_whitespace()
+        if self.text.startswith(token, self.pos):
+            self.pos += len(token)
+            return True
+        return False
+
+    def _error(self, message: str) -> XmlParseError:
+        line = self.text.count("\n", 0, self.pos) + 1
+        col = self.pos - self.text.rfind("\n", 0, self.pos)
+        return XmlParseError(f"{message} (line {line}, column {col})")

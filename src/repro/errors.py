@@ -1,0 +1,77 @@
+"""Exception hierarchy for the ViST reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Sub-hierarchies
+mirror the package layout (storage, documents, queries, labeling, index).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer failures."""
+
+
+class PageError(StorageError):
+    """A page id is out of range, freed, or a page file is corrupt."""
+
+
+class CodecError(StorageError):
+    """A value cannot be encoded to (or decoded from) its byte form."""
+
+
+class KeyTooLargeError(StorageError):
+    """A key/value pair is too large to fit in a single B+Tree page."""
+
+
+class DuplicateEntryError(StorageError):
+    """An exact ``(key, value)`` pair already exists and duplicates are off."""
+
+
+class DocumentError(ReproError):
+    """Base class for XML document model / parsing failures."""
+
+
+class XmlParseError(DocumentError):
+    """Raised when XML text cannot be parsed."""
+
+
+class SchemaError(DocumentError):
+    """Raised for malformed schema definitions or schema violations."""
+
+
+class QueryError(ReproError):
+    """Base class for query-processing failures."""
+
+
+class QueryParseError(QueryError):
+    """Raised when an XPath-subset expression cannot be parsed."""
+
+
+class TranslationError(QueryError):
+    """Raised when a query tree cannot be translated to sequences."""
+
+
+class LabelingError(ReproError):
+    """Base class for scope-labelling failures."""
+
+
+class ScopeUnderflowError(LabelingError):
+    """A scope cannot supply a sub-scope of the requested size.
+
+    ViST normally *handles* underflow by borrowing from ancestors
+    (Section 3.4.1); this error escapes only when the whole ancestor
+    chain, including the root, is exhausted.
+    """
+
+
+class IndexStateError(ReproError):
+    """An index operation was attempted in an invalid state."""
+
+
+class DatasetError(ReproError):
+    """Raised by dataset generators for invalid parameters."""

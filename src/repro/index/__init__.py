@@ -1,0 +1,26 @@
+"""The paper's index structures: Naive (Alg. 1), RIST (§3.3), ViST (§3.4)."""
+
+from repro.index.base import Query, XmlIndexBase
+from repro.index.matching import SequenceMatcher, match_prefix_pattern
+from repro.index.naive import NaiveIndex
+from repro.index.rist import RistIndex
+from repro.index.store import decode_node_key, node_key
+from repro.index.trie import SequenceTrie, TrieNode
+from repro.index.verification import rebuild_tree, verify_document
+from repro.index.vist import VistIndex
+
+__all__ = [
+    "XmlIndexBase",
+    "Query",
+    "NaiveIndex",
+    "RistIndex",
+    "VistIndex",
+    "SequenceTrie",
+    "TrieNode",
+    "SequenceMatcher",
+    "match_prefix_pattern",
+    "verify_document",
+    "rebuild_tree",
+    "node_key",
+    "decode_node_key",
+]

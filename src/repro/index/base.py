@@ -1,0 +1,340 @@
+"""Shared index interface and helpers.
+
+Every index in this package (Naive, RIST, ViST, and the two baselines)
+answers *document-membership* queries: given a structural query, return
+the ids of the documents that contain a match — exactly what the paper's
+experiments measure.  :class:`XmlIndexBase` holds the common plumbing:
+the sequence encoder, the query translator, the document store, and the
+optional tree-embedding verification pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from repro.doc.model import XmlDocument, XmlNode
+from repro.errors import IndexStateError
+from repro.query.ast import QueryNode, QuerySequence
+from repro.query.translate import QueryTranslator
+from repro.query.xpath import parse_xpath
+from repro.sequence.encoding import StructureEncodedSequence
+from repro.sequence.transform import SequenceEncoder
+from repro.storage.docstore import DocStore, MemoryDocStore
+
+Query = Union[str, QueryNode]
+
+__all__ = ["XmlIndexBase", "Query", "QueryPlan"]
+
+
+@dataclass
+class QueryPlan:
+    """What :meth:`XmlIndexBase.explain` reports about a query.
+
+    ``alternatives`` are the translated query sequences (empty for the
+    join-based baselines, which do not translate); the boolean flags
+    mirror the routing decisions :meth:`XmlIndexBase.query` makes.
+    """
+
+    index_type: str
+    xpath: str
+    alternatives: list[str] = field(default_factory=list)
+    auto_verified: bool = False  # unexpressible constraint => verification
+    relaxed_candidates: bool = False  # same-label branches in exact mode
+    needs_raw_values: bool = False  # range/inequality predicates
+    translation_error: Optional[str] = None  # cap exceeded => fallback
+    notes: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        lines = [f"query plan ({self.index_type}): {self.xpath}"]
+        if self.alternatives:
+            lines.append(f"  sequence alternatives: {len(self.alternatives)}")
+            for alt in self.alternatives:
+                lines.append(f"    {alt}")
+        if self.translation_error:
+            lines.append(f"  translation fallback: {self.translation_error}")
+        for flag, label in [
+            (self.auto_verified, "auto-verified (constraint not expressible raw)"),
+            (self.relaxed_candidates, "exact mode uses relaxed candidates"),
+            (self.needs_raw_values, "needs raw values (source_store)"),
+        ]:
+            if flag:
+                lines.append(f"  {label}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+class XmlIndexBase:
+    """Base class for the document-membership indexes."""
+
+    def __init__(
+        self,
+        encoder: Optional[SequenceEncoder] = None,
+        docstore: Optional[DocStore] = None,
+        *,
+        source_store: Optional[DocStore] = None,
+        max_alternatives: int = 24,
+    ) -> None:
+        self.encoder = encoder if encoder is not None else SequenceEncoder()
+        self.translator = QueryTranslator(self.encoder, max_alternatives=max_alternatives)
+        self.docstore = docstore if docstore is not None else MemoryDocStore()
+        # optional: keep the original XML text so query results can be
+        # materialised back into documents (see get_document)
+        self.source_store = source_store
+
+    # -- ingestion ---------------------------------------------------------
+
+    def add(self, document: Union[XmlDocument, XmlNode]) -> int:
+        """Index one document (or record subtree); returns its doc id."""
+        if isinstance(document, XmlNode):
+            root = document
+        else:
+            root = document.root
+        doc_id = self.add_sequence(self.encoder.encode_node(root))
+        if self.source_store is not None:
+            source_id = self.source_store.add(root.to_xml().encode("utf-8"))
+            if source_id != doc_id:
+                raise IndexStateError(
+                    f"source store id {source_id} diverged from doc id {doc_id}; "
+                    "the stores must be used by exactly one index"
+                )
+        return doc_id
+
+    def add_all(self, documents: Iterable[Union[XmlDocument, XmlNode]]) -> list[int]:
+        """Index many documents; returns their doc ids."""
+        return [self.add(doc) for doc in documents]
+
+    def add_sequence(self, sequence: StructureEncodedSequence) -> int:
+        """Index an already-encoded sequence; returns its doc id."""
+        raise NotImplementedError
+
+    def remove(self, doc_id: int) -> None:
+        """Remove a document.  Indexes without dynamic deletion raise."""
+        raise IndexStateError(
+            f"{type(self).__name__} does not support dynamic deletion"
+        )
+
+    # -- querying ------------------------------------------------------------
+
+    def query(
+        self, query: Query, *, verify: bool = False, fallback: bool = True
+    ) -> list[int]:
+        """Evaluate a structural query; returns sorted matching doc ids.
+
+        ``query`` is an XPath-subset string or a pre-built query tree.
+        With ``verify=True``, candidate documents are re-checked by tree
+        embedding against their stored sequences, removing the
+        false positives the raw ViST semantics admits (see DESIGN.md).
+
+        ``fallback`` enables the paper's footnote-2 escape hatch: a query
+        whose branch permutations exceed ``max_alternatives`` is
+        *relaxed* (same-label branches deduplicated), raw-matched, and
+        then always verified against the original tree — exact results
+        at verification cost instead of a :class:`TranslationError`.
+        """
+        from repro.errors import TranslationError
+        from repro.query.translate import relax_query_tree
+
+        from repro.index.verification import query_needs_raw_values
+
+        root = parse_xpath(query) if isinstance(query, str) else query
+        # range/inequality value predicates are never expressible over
+        # hashes, on any index type: always verify (with raw values)
+        verify = verify or query_needs_raw_values(root) or self._needs_verification(root)
+        if all(node.is_wildcard for node in root.preorder()):
+            # e.g. "/*": no concrete item survives translation; every
+            # document is a candidate and verification decides
+            return sorted(
+                doc_id
+                for doc_id in self.docstore.ids()
+                if self._verify_one(doc_id, root)
+            )
+        if verify and self._needs_relaxed_candidates(root):
+            # same-label sibling branches demand duplicate (symbol, prefix)
+            # items that one data node may satisfy alone — raw matching
+            # loses such answers (the Q5 caveat), so exact mode draws its
+            # candidates from the relaxed query instead
+            doc_ids = self._execute(relax_query_tree(root))
+        else:
+            try:
+                doc_ids = self._execute(root)
+            except TranslationError:
+                if not fallback:
+                    raise
+                doc_ids = self._execute(relax_query_tree(root))
+                verify = True
+        if verify:
+            doc_ids = {d for d in doc_ids if self._verify_one(d, root)}
+        return sorted(doc_ids)
+
+    def explain(self, query: Query) -> QueryPlan:
+        """Describe how :meth:`query` would evaluate ``query`` — the
+        translated sequence alternatives and every routing decision —
+        without touching the data."""
+        from repro.errors import TranslationError
+        from repro.index.verification import query_needs_raw_values
+
+        root = parse_xpath(query) if isinstance(query, str) else query
+        plan = QueryPlan(index_type=type(self).__name__, xpath=root.to_xpath())
+        plan.needs_raw_values = query_needs_raw_values(root)
+        plan.auto_verified = plan.needs_raw_values or self._needs_verification(root)
+        plan.relaxed_candidates = self._needs_relaxed_candidates(root)
+        if all(node.is_wildcard for node in root.preorder()):
+            plan.notes.append("all-wildcard query: every document is a candidate")
+            return plan
+        if type(self)._execute is not XmlIndexBase._execute:
+            plan.notes.append("join-based evaluation (no sequence translation)")
+            return plan
+        try:
+            for alternative in self.translator.translate(root):
+                plan.alternatives.append(" ".join(str(i) for i in alternative))
+        except TranslationError as exc:
+            plan.translation_error = str(exc)
+            plan.auto_verified = True
+        return plan
+
+    def _verify_one(self, doc_id: int, root: QueryNode) -> bool:
+        from repro.index.verification import query_needs_raw_values, verify_document
+
+        if query_needs_raw_values(root):
+            sequence, raw = self._load_raw_sequence(doc_id)
+            return verify_document(sequence, root, self.encoder.hasher, raw)
+        return verify_document(self.load_sequence(doc_id), root, self.encoder.hasher)
+
+    def _load_raw_sequence(self, doc_id: int):
+        """Re-encode a document from its source, capturing raw values.
+
+        The captured strings align with the stored sequence's value items
+        (same transform, same sibling order), which range-predicate
+        verification relies on.
+        """
+        from repro.sequence.vocabulary import CapturingHasher
+
+        if self.source_store is None:
+            raise IndexStateError(
+                "range/inequality predicates need the original text: create "
+                "the index with a source_store"
+            )
+        capture = CapturingHasher(self.encoder.hasher)
+        encoder = SequenceEncoder(self.encoder.schema, capture)
+        sequence = encoder.encode_document(self.get_document(doc_id))
+        return sequence, capture.raw
+
+    def query_nodes(self, query: Query) -> dict[int, list[int]]:
+        """Node-granularity results: doc id → matched node positions.
+
+        Positions are preorder indices into the document's
+        structure-encoded sequence (equivalently, its expanded tree).
+        The matched nodes are the bindings of the query's *result node*
+        (the deepest step of the main location path), as an XPath engine
+        would return.  Always exact: candidates come from the verified
+        evaluation path.
+        """
+        from repro.index.verification import find_result_nodes, query_needs_raw_values
+
+        root = parse_xpath(query) if isinstance(query, str) else query
+        needs_raw = query_needs_raw_values(root)
+        out: dict[int, list[int]] = {}
+        for doc_id in self.query(root, verify=True):
+            if needs_raw:
+                sequence, raw = self._load_raw_sequence(doc_id)
+            else:
+                sequence, raw = self.load_sequence(doc_id), None
+            positions = find_result_nodes(sequence, root, self.encoder.hasher, raw)
+            if positions:
+                out[doc_id] = positions
+        return out
+
+    def _needs_verification(self, root: QueryNode) -> bool:
+        """Queries the sequence encoding cannot express exactly.
+
+        A wildcard step with no children *and no value predicate*
+        (``/a/*``) is discarded by translation with nothing left to
+        carry its placeholder, so its existence constraint vanishes from
+        the query sequence; such queries are verified automatically.
+        The join-based baselines evaluate wildcards directly and
+        override this to ``False``.
+        """
+        return any(
+            node.is_wildcard and not node.children and node.value is None
+            for node in root.preorder()
+        )
+
+    def _needs_relaxed_candidates(self, root: QueryNode) -> bool:
+        """True when raw matching can lose answers the verifier expects.
+
+        Same-label sibling branches translate to duplicate ``(symbol,
+        prefix)`` items, but XPath lets a single data node satisfy
+        several predicates — e.g. ``/A[B/C]/B/D`` against one ``B``
+        holding both ``C`` and ``D``.  A *wildcard* branch beside any
+        other branch has the same problem (the wildcard may bind the very
+        node its sibling branch binds).  Exact mode then matches the
+        relaxed query (a superset) and verifies.  Join-based baselines
+        are exact natively and override this to ``False``.
+        """
+        for node in root.preorder():
+            if len(node.children) > 1 and any(
+                child.is_wildcard for child in node.children
+            ):
+                return True
+            seen: set[str] = set()
+            for child in node.children:
+                if child.is_wildcard:
+                    continue
+                if child.label in seen:
+                    return True
+                seen.add(child.label)
+        return False
+
+    def _execute(self, root: QueryNode) -> set[int]:
+        """Evaluate a parsed query tree.  Default: sequence matching over
+        every translation alternative; the join-based baselines override
+        this with their own evaluation strategy."""
+        doc_ids: set[int] = set()
+        for alternative in self.translator.translate(root):
+            doc_ids.update(self.match_sequence(alternative))
+        return doc_ids
+
+    def match_sequence(self, query_sequence: QuerySequence) -> set[int]:
+        """Raw subsequence matching for one query-sequence alternative."""
+        raise NotImplementedError
+
+    # -- document access -------------------------------------------------------
+
+    def load_sequence(self, doc_id: int) -> StructureEncodedSequence:
+        """Reload the structure-encoded sequence of an indexed document."""
+        return self._payload_to_sequence(self.docstore.get(doc_id))
+
+    def get_document(self, doc_id: int) -> XmlDocument:
+        """Materialise an indexed document from its stored XML source.
+
+        Requires the index to have been created with a ``source_store``
+        and the document to have been added via :meth:`add` (sequences
+        indexed directly carry no source text).
+        """
+        if self.source_store is None:
+            raise IndexStateError(
+                "get_document needs a source_store (pass one to the index "
+                "constructor); only sequences were retained"
+            )
+        from repro.doc.parser import parse_document
+
+        text = self.source_store.get(doc_id).decode("utf-8")
+        return parse_document(text)
+
+    def _remove_source(self, doc_id: int) -> None:
+        """Hook for deleting indexes: drop the stored source, if any."""
+        if self.source_store is not None and doc_id in self.source_store:
+            self.source_store.remove(doc_id)
+
+    def __len__(self) -> int:
+        return len(self.docstore)
+
+    # -- payload hooks ----------------------------------------------------------
+
+    def _sequence_to_payload(self, sequence: StructureEncodedSequence) -> bytes:
+        return sequence.to_bytes()
+
+    def _payload_to_sequence(self, payload: bytes) -> StructureEncodedSequence:
+        return StructureEncodedSequence.from_bytes(payload)

@@ -1,0 +1,254 @@
+"""Non-contiguous subsequence matching (paper Algorithm 2).
+
+Matching walks the query sequence left to right.  At each step the
+current match position is a virtual-suffix-tree scope; the next query
+item is resolved through the D-Ancestor keys (symbol + prefix), the
+matching nodes are narrowed to descendants of the current scope via the
+S-Ancestor range ``(n, n + size]``, and the walk recurses.  At the end,
+every document id in the closed range ``[n, n + size]`` of the final
+node is an answer.
+
+Wildcards: a ``*`` or ``//`` in a query prefix makes the D-Ancestor
+lookup a *range* scan — same symbol, prefix length fixed (``*``) or swept
+over the plausible lengths (``//``), known leading labels as the scan
+prefix (Section 3.3, "Handling Wild Cards").  The first match binds the
+wildcard; later items reuse the binding ("the matching of ``(L, P*)``
+will instantiate the ``*`` in ``(v2, P*L)``").
+
+:class:`SequenceMatcher` is shared by RIST and ViST — they differ only in
+how entries were labelled, which the host index hides behind
+:meth:`MatchingHost.iter_candidates` / :meth:`MatchingHost.iter_doc_ids`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol
+
+from repro.labeling.scope import Scope
+from repro.query.ast import Dslash, PrefixToken, QueryItem, QuerySequence, Star
+from repro.sequence.encoding import Prefix
+
+Bindings = tuple[tuple[int, tuple[str, ...]], ...]  # wid -> bound labels, sorted
+
+__all__ = [
+    "MatchingHost",
+    "SequenceMatcher",
+    "MatchStats",
+    "match_prefix_pattern",
+    "resolve_pattern",
+]
+
+
+@dataclass
+class MatchStats:
+    """Index-traversal effort of the most recent match.
+
+    ``range_queries`` counts D/S-Ancestor range scans issued (the paper's
+    "index traversals"); ``candidates`` counts nodes those scans yielded;
+    ``search_states`` counts distinct ``(item, scope)`` positions the
+    recursion visited; ``final_nodes`` is the size of the answer frontier.
+    """
+
+    range_queries: int = 0
+    candidates: int = 0
+    search_states: int = 0
+    final_nodes: int = 0
+
+    def reset(self) -> None:
+        self.range_queries = 0
+        self.candidates = 0
+        self.search_states = 0
+        self.final_nodes = 0
+
+
+def _bind(bindings: Bindings, wid: int, labels: tuple[str, ...]) -> Bindings:
+    return tuple(sorted(dict(bindings) | {wid: labels}.items()))
+
+
+def match_prefix_pattern(
+    pattern: tuple[PrefixToken, ...],
+    data_prefix: Prefix,
+    bindings: Bindings = (),
+) -> list[Bindings]:
+    """All binding sets under which ``pattern`` matches ``data_prefix``.
+
+    ``str`` tokens must match exactly; a bound :class:`Star`/:class:`Dslash`
+    must reproduce its labels; an unbound ``Star`` binds one label and an
+    unbound ``Dslash`` binds zero or more.  Multiple unbound ``//`` can
+    split the data prefix several ways, so a list is returned.
+    """
+    bound = dict(bindings)
+    results: list[Bindings] = []
+
+    def walk(ti: int, di: int, current: dict[int, tuple[str, ...]]) -> None:
+        if ti == len(pattern):
+            if di == len(data_prefix):
+                results.append(tuple(sorted(current.items())))
+            return
+        token = pattern[ti]
+        if isinstance(token, str):
+            if di < len(data_prefix) and data_prefix[di] == token:
+                walk(ti + 1, di + 1, current)
+            return
+        if isinstance(token, Star):
+            if token.wid in current:
+                labels = current[token.wid]
+                if data_prefix[di : di + len(labels)] == labels:
+                    walk(ti + 1, di + len(labels), current)
+                return
+            if di < len(data_prefix):
+                nxt = dict(current)
+                nxt[token.wid] = (data_prefix[di],)
+                walk(ti + 1, di + 1, nxt)
+            return
+        assert isinstance(token, Dslash)
+        if token.wid in current:
+            labels = current[token.wid]
+            if data_prefix[di : di + len(labels)] == labels:
+                walk(ti + 1, di + len(labels), current)
+            return
+        for take in range(len(data_prefix) - di + 1):
+            nxt = dict(current)
+            nxt[token.wid] = tuple(data_prefix[di : di + take])
+            walk(ti + 1, di + take, nxt)
+
+    walk(0, 0, bound)
+    # Dedupe: distinct walks can yield identical binding sets.
+    seen: set[Bindings] = set()
+    unique = []
+    for binding in results:
+        if binding not in seen:
+            seen.add(binding)
+            unique.append(binding)
+    return unique
+
+
+def resolve_pattern(
+    pattern: tuple[PrefixToken, ...], bindings: Bindings
+) -> tuple[tuple[str, ...], tuple[PrefixToken, ...]]:
+    """Split a pattern into its concrete leading labels and the open tail.
+
+    Bound wildcards are substituted first, so the leading part is as long
+    as the current bindings allow — it becomes the D-Ancestor scan prefix.
+    """
+    bound = dict(bindings)
+    leading: list[str] = []
+    tail: list[PrefixToken] = []
+    open_tail = False
+    for token in pattern:
+        if not open_tail:
+            if isinstance(token, str):
+                leading.append(token)
+                continue
+            if token.wid in bound:
+                leading.extend(bound[token.wid])
+                continue
+            open_tail = True
+        if isinstance(token, (Star, Dslash)) and token.wid in bound:
+            tail.extend(bound[token.wid])
+        else:
+            tail.append(token)
+    return tuple(leading), tuple(tail)
+
+
+class MatchingHost(Protocol):
+    """What an index must expose for :class:`SequenceMatcher` to run."""
+
+    def root_scope(self) -> Scope:
+        """Scope of the virtual suffix tree root."""
+
+    def max_prefix_len(self) -> int:
+        """Longest item prefix in the index (bounds ``//`` sweeps)."""
+
+    def iter_candidates(
+        self,
+        symbol,
+        prefix_len: int,
+        leading: tuple[str, ...],
+        within: Scope,
+    ) -> Iterator[tuple[Prefix, Scope]]:
+        """Nodes with the given symbol/prefix-length whose prefix starts
+        with ``leading`` and whose id lies in ``(within.n, within.end]``."""
+
+    def iter_doc_ids(self, within: Scope) -> Iterator[int]:
+        """Document ids attached in the closed range ``[n, n + size]``."""
+
+
+class SequenceMatcher:
+    """Algorithm 2, parameterised by a :class:`MatchingHost`."""
+
+    def __init__(self, host: MatchingHost) -> None:
+        self.host = host
+        self.stats = MatchStats()  # effort of the most recent match
+
+    def match(self, query: QuerySequence) -> set[int]:
+        """All document ids containing the query sequence."""
+        results: set[int] = set()
+        for scope in self.final_scopes(query):
+            results.update(self.host.iter_doc_ids(scope))
+        return results
+
+    def final_scopes(self, query: QuerySequence) -> list[Scope]:
+        """Scopes of the nodes matching the query's last item.
+
+        This is the matching phase *without* the DocId output phase —
+        the quantity the paper times in Figure 10 ("does not include the
+        time spent in data output after each range query on the DocId
+        B+Tree").  ``match`` unions the DocId ranges of these scopes.
+        """
+        self.stats.reset()
+        finals: list[Scope] = []
+        seen_finals: set[int] = set()
+        visited: set[tuple[int, int, Bindings]] = set()
+        items = query.items
+        max_len = self.host.max_prefix_len()
+
+        def search(scope: Scope, i: int, bindings: Bindings) -> None:
+            if i == len(items):
+                if scope.n not in seen_finals:
+                    seen_finals.add(scope.n)
+                    finals.append(scope)
+                return
+            state = (i, scope.n, bindings)
+            if state in visited:
+                return
+            visited.add(state)
+            self.stats.search_states += 1
+            qi = items[i]
+            for child_scope, new_bindings in self._candidates(qi, scope, bindings, max_len):
+                self.stats.candidates += 1
+                search(child_scope, i + 1, new_bindings)
+
+        search(self.host.root_scope(), 0, ())
+        self.stats.final_nodes = len(finals)
+        return finals
+
+    # -- candidate generation ---------------------------------------------
+
+    def _candidates(
+        self, qi: QueryItem, scope: Scope, bindings: Bindings, max_len: int
+    ) -> Iterator[tuple[Scope, Bindings]]:
+        leading, tail = resolve_pattern(qi.prefix, bindings)
+        if not tail:
+            # fully concrete prefix: a single D-Ancestor key, scope range
+            self.stats.range_queries += 1
+            for _, child in self.host.iter_candidates(
+                qi.symbol, len(leading), leading, scope
+            ):
+                yield child, bindings
+            return
+        min_extra = sum(1 for t in tail if isinstance(t, (str, Star)))
+        if all(not isinstance(t, Dslash) for t in tail):
+            lengths = [len(leading) + min_extra]
+        else:
+            lengths = range(len(leading) + min_extra, max_len + 1)
+        for plen in lengths:
+            self.stats.range_queries += 1
+            for data_prefix, child in self.host.iter_candidates(
+                qi.symbol, plen, leading, scope
+            ):
+                for new_bindings in match_prefix_pattern(
+                    tail, data_prefix[len(leading) :], bindings
+                ):
+                    yield child, new_bindings

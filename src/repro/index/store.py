@@ -1,0 +1,132 @@
+"""B+Tree key plumbing shared by the RIST and ViST indexes.
+
+Both indexes keep two logical structures in B+Trees (paper Figure 6):
+
+* the **combined D-Ancestor + S-Ancestor tree**: one entry per virtual
+  suffix-tree node, key ``(symbol, prefix_len, *prefix_labels, n)``.
+  The key order is exactly Section 3.3's D-Ancestor order (symbol, then
+  prefix length, then prefix content) with the S-Ancestor label ``n``
+  appended, so a D-Ancestor lookup is a key-prefix range and the
+  S-Ancestor range ``(n, n + size]`` is a sub-range of it;
+* the **DocId tree**: key ``n``, one duplicate entry per document id
+  attached to node ``n``.
+
+Entry values differ per index (RIST stores a bare size, ViST a full
+:class:`~repro.labeling.dynamic.NodeState`), so hosts provide
+``_scope_of(n, value)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+from repro.labeling.scope import Scope
+from repro.sequence.encoding import Item, Prefix
+from repro.storage.bptree import BPlusTree
+from repro.storage.serialization import (
+    decode_tuple,
+    decode_uint,
+    encode_tuple,
+    encode_uint,
+    prefix_range_end,
+)
+
+Symbol = Union[str, int]
+
+# Reserved keys in the combined tree.  Real symbols are non-empty labels
+# or non-negative value hashes, so a leading empty-string component can
+# never collide with a data key.
+ROOT_KEY = encode_tuple(("", 0, "root"))
+META_MAX_DEPTH_KEY = encode_tuple(("", 0, "max-depth"))
+
+__all__ = [
+    "ROOT_KEY",
+    "META_MAX_DEPTH_KEY",
+    "node_key",
+    "decode_node_key",
+    "CombinedTreeHost",
+]
+
+
+def node_key(symbol: Symbol, prefix: Prefix, n: int) -> bytes:
+    """Combined-tree key of the node for ``(symbol, prefix)`` labelled ``n``."""
+    return encode_tuple((symbol, len(prefix), *prefix, n))
+
+
+def decode_node_key(key: bytes) -> tuple[Symbol, Prefix, int]:
+    """Inverse of :func:`node_key`."""
+    parts = decode_tuple(key)
+    symbol = parts[0]
+    plen = parts[1]
+    return symbol, tuple(parts[2 : 2 + plen]), parts[2 + plen]
+
+
+class CombinedTreeHost:
+    """Matching-host implementation over the two B+Trees.
+
+    Subclasses (RIST/ViST indexes) own ``self.tree`` (combined) and
+    ``self.docid_tree`` and implement :meth:`_scope_of`.
+    """
+
+    tree: BPlusTree
+    docid_tree: BPlusTree
+
+    # -- MatchingHost ------------------------------------------------------
+
+    def root_scope(self) -> Scope:
+        raise NotImplementedError
+
+    def _scope_of(self, n: int, value: bytes) -> Optional[Scope]:
+        """Decode an entry value to its scope; ``None`` to hide the entry."""
+        raise NotImplementedError
+
+    def max_prefix_len(self) -> int:
+        value = self.tree.get(META_MAX_DEPTH_KEY)
+        if value is None:
+            return 0
+        return decode_uint(value)[0]
+
+    def _bump_max_prefix_len(self, depth: int) -> None:
+        if depth > self.max_prefix_len():
+            self.tree.put(META_MAX_DEPTH_KEY, encode_uint(depth))
+
+    def iter_candidates(
+        self,
+        symbol: Symbol,
+        prefix_len: int,
+        leading: tuple[str, ...],
+        within: Scope,
+    ) -> Iterator[tuple[Prefix, Scope]]:
+        if prefix_len == len(leading):
+            # concrete prefix: bound the scan by the S-Ancestor range too
+            lo = encode_tuple((symbol, prefix_len, *leading, within.n + 1))
+            hi = encode_tuple((symbol, prefix_len, *leading, within.end))
+            for key, value in self.tree.range(lo, hi, include_hi=True):
+                _, prefix, n = decode_node_key(key)
+                scope = self._scope_of(n, value)
+                if scope is not None:
+                    yield prefix, scope
+            return
+        scan = encode_tuple((symbol, prefix_len, *leading))
+        for key, value in self.tree.range(scan, prefix_range_end(scan)):
+            _, prefix, n = decode_node_key(key)
+            if not within.contains_descendant_id(n):
+                continue
+            scope = self._scope_of(n, value)
+            if scope is not None:
+                yield prefix, scope
+
+    def iter_doc_ids(self, within: Scope) -> Iterator[int]:
+        lo, hi = within.doc_range()
+        for _, value in self.docid_tree.range(
+            encode_tuple((lo,)), encode_tuple((hi,)), include_hi=True
+        ):
+            yield decode_uint(value)[0]
+
+    # -- DocId tree helpers --------------------------------------------------
+
+    def _attach_doc(self, n: int, doc_id: int) -> None:
+        self.docid_tree.insert(encode_tuple((n,)), encode_uint(doc_id))
+
+    def _detach_doc(self, n: int, doc_id: int) -> int:
+        return self.docid_tree.delete(encode_tuple((n,)), encode_uint(doc_id))

@@ -1,0 +1,100 @@
+"""The "suffix-tree-like structure" of paper Figure 5.
+
+Structure-encoded sequences are inserted root-downwards into a trie: each
+trie node corresponds to one ``(symbol, prefix)`` item, branches are
+shared between sequences with a common item prefix, and each document's
+id is attached to the node its insertion ends at.
+
+The trie serves two roles:
+
+* the :class:`~repro.index.naive.NaiveIndex` matches directly on it
+  (Algorithm 1);
+* RIST labels it *statically* — ``n`` = preorder number, ``size`` =
+  descendant count (Section 3.3, Figure 5's ``<n, size>`` pairs) — and
+  then moves matching onto B+Trees.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.labeling.scope import Scope
+from repro.sequence.encoding import Item, StructureEncodedSequence
+
+__all__ = ["TrieNode", "SequenceTrie"]
+
+
+class TrieNode:
+    """One node of the sequence trie."""
+
+    __slots__ = ("item", "children", "doc_ids", "scope")
+
+    def __init__(self, item: Optional[Item]) -> None:
+        self.item = item  # None for the root
+        self.children: dict[Item, "TrieNode"] = {}
+        self.doc_ids: list[int] = []
+        self.scope: Optional[Scope] = None  # set by assign_static_labels
+
+    def descendants(self) -> Iterator["TrieNode"]:
+        """Every node strictly below this one, in preorder."""
+        stack = list(reversed(list(self.children.values())))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(list(node.children.values())))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrieNode({self.item}, children={len(self.children)})"
+
+
+class SequenceTrie:
+    """A trie over structure-encoded sequences."""
+
+    def __init__(self) -> None:
+        self.root = TrieNode(None)
+        self.node_count = 0  # excluding the root
+        self.max_depth = 0  # longest item prefix seen
+
+    def insert(self, sequence: StructureEncodedSequence, doc_id: int) -> TrieNode:
+        """Insert a sequence; returns the node the document ends at.
+
+        "The insertion process is much like that of inserting a sequence
+        into a suffix tree – we follow the branches, and when there is no
+        branch to follow, we create one."  (paper Section 3.4.2)
+        """
+        node = self.root
+        for item in sequence:
+            child = node.children.get(item)
+            if child is None:
+                child = TrieNode(item)
+                node.children[item] = child
+                self.node_count += 1
+                self.max_depth = max(self.max_depth, len(item.prefix))
+            node = child
+        node.doc_ids.append(doc_id)
+        return node
+
+    def nodes(self) -> Iterator[TrieNode]:
+        """All nodes except the root, in preorder."""
+        return self.root.descendants()
+
+    def assign_static_labels(self, start: int = 0) -> int:
+        """RIST labelling: preorder number + descendant count.
+
+        Returns the total number of labelled nodes (including the root,
+        which receives ``<start, total_descendants>``).
+        """
+        counter = start
+
+        def label(node: TrieNode) -> int:
+            nonlocal counter
+            my_n = counter
+            counter += 1
+            descendants = 0
+            for child in node.children.values():
+                descendants += label(child)
+            node.scope = Scope(my_n, descendants)
+            return descendants + 1
+
+        total = label(self.root)
+        return total

@@ -1,0 +1,350 @@
+"""ViST: the dynamically-labelled virtual suffix tree index (Section 3.4).
+
+The suffix tree is never materialised.  Insertion (Algorithm 4) walks the
+virtual trie through the combined B+Tree: for each sequence item it looks
+for an *immediate child* of the current node with that ``(symbol,
+prefix)``; if none exists, a fresh scope is carved from the parent by the
+configured :class:`~repro.labeling.dynamic.ScopeAllocator` (clue-based
+Eq. 3–4 or λ-based Eq. 5–6).  The document id lands in the DocId tree
+under the label of the last node.
+
+**Scope underflow.**  When the allocator cannot carve another scope, the
+insert borrows a block of sequential ids from the reserve of the nearest
+ancestor able to cover the rest of the sequence (paper Section 3.4.1).
+The nodes between that ancestor and the underflow point are re-created as
+*private* duplicates inside the block — "they cannot be shared with other
+sequences, but they are still properly indexed for matching".
+
+**Deletion.**  The paper states ViST supports deletion but gives no
+algorithm; we reference-count each node with the number of sequences
+whose insertion passed through it and reclaim entries at zero.  Allocation
+cursors are never rolled back — labels, once assigned, stay fixed, as
+Section 3.4 requires.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import IndexStateError, KeyTooLargeError, ScopeUnderflowError
+from repro.doc.stats import CorpusStats
+from repro.index.base import XmlIndexBase
+from repro.index.matching import SequenceMatcher
+from repro.index.store import ROOT_KEY, CombinedTreeHost, decode_node_key, node_key
+from repro.labeling.clues import FollowSets
+from repro.labeling.dynamic import (
+    DEFAULT_MAX,
+    ClueAllocator,
+    LambdaAllocator,
+    NodeState,
+    ScopeAllocator,
+)
+from repro.labeling.scope import Scope
+from repro.query.ast import QuerySequence
+from repro.sequence.encoding import Item, StructureEncodedSequence
+from repro.sequence.transform import SequenceEncoder
+from repro.storage.bptree import BPlusTree, TreeStats
+from repro.storage.docstore import DocStore
+from repro.storage.pager import MemoryPager, Pager
+from repro.storage.serialization import decode_uint, encode_uint
+
+__all__ = ["VistIndex"]
+
+
+class VistIndex(XmlIndexBase, CombinedTreeHost):
+    """Dynamic virtual-suffix-tree index over B+Trees (the paper's ViST)."""
+
+    def __init__(
+        self,
+        encoder: Optional[SequenceEncoder] = None,
+        docstore: Optional[DocStore] = None,
+        pager: Optional[Pager] = None,
+        allocator: Optional[ScopeAllocator] = None,
+        *,
+        source_store: Optional[DocStore] = None,
+        max_label: int = DEFAULT_MAX,
+        track_refs: bool = True,
+        collect_stats: bool = True,
+        max_alternatives: int = 24,
+    ) -> None:
+        XmlIndexBase.__init__(
+            self, encoder, docstore,
+            source_store=source_store, max_alternatives=max_alternatives,
+        )
+        self._pager = pager if pager is not None else MemoryPager()
+        self.tree = BPlusTree(self._pager, slot=0)
+        self.docid_tree = BPlusTree(self._pager, slot=1)
+        # "we collect statistics during data generation for dynamic
+        # labeling purposes": with collect_stats the corpus statistics
+        # accumulate as documents arrive, and the clue-free allocator
+        # tunes its λ per parent label from them
+        self.stats = CorpusStats() if collect_stats else None
+        if allocator is None:
+            if self.encoder.schema is not None:
+                allocator = ClueAllocator(FollowSets(self.encoder.schema))
+            else:
+                allocator = LambdaAllocator(lam=4, stats=self.stats)
+        self.allocator = allocator
+        self.track_refs = track_refs
+        self.underflow_count = 0  # borrow events, reported by the ablation bench
+        # (parent_n, item) -> child n: a rebuildable in-memory accelerator
+        # for Algorithm 4's immediate-child search.  The paper's own answer
+        # is the arithmetic test "by Eq (4) and Eq (6)"; a lookaside cache
+        # achieves the same O(1) lookup for both allocation schemes without
+        # touching the persistent structures (it is not part of the index
+        # size and repopulates lazily after reopening from disk).
+        self._child_cache: dict[tuple[int, Item], int] = {}
+        root_value = self.tree.get(ROOT_KEY)
+        if root_value is None:
+            self._root_state = NodeState(scope=Scope(0, max_label - 1), parent_n=0)
+            self.tree.put(ROOT_KEY, self._root_state.to_bytes())
+        else:
+            self._root_state = NodeState.from_bytes(0, root_value)
+
+    # ------------------------------------------------------------------
+    # ingestion (Algorithm 4)
+
+    def add_sequence(self, sequence: StructureEncodedSequence) -> int:
+        if len(sequence) == 0:
+            raise IndexStateError("cannot index an empty sequence")
+        self._validate_key_sizes(sequence)
+        if self.stats is not None:
+            self.stats.observe_sequence(sequence)
+        pending: dict[int, tuple[bytes, NodeState]] = {}
+        pending[0] = (ROOT_KEY, self._root_state)
+        path_items: list[Optional[Item]] = [None]
+        path_states: list[NodeState] = [self._root_state]
+        path_keys: list[bytes] = [ROOT_KEY]
+        labels: Optional[list[int]] = None
+        for i, item in enumerate(sequence):
+            parent_state = path_states[-1]
+            parent_item = path_items[-1]
+            child = self._find_child(item, parent_state, pending)
+            key = node_key(item.symbol, item.prefix, 0)  # placeholder, fixed below
+            if child is None:
+                scope = self.allocator.place(parent_state, parent_item, item)
+                # place() advanced the parent's allocation cursors: the
+                # parent must be written back even without refcounting,
+                # or a later insertion would hand out the same scope twice
+                pending.setdefault(
+                    parent_state.scope.n, (path_keys[-1], parent_state)
+                )
+                if scope is None:
+                    labels = self._insert_borrowed(
+                        i, sequence, path_items, path_states, path_keys, pending
+                    )
+                    break
+                child = NodeState(scope, parent_n=parent_state.scope.n)
+                key = node_key(item.symbol, item.prefix, scope.n)
+                pending[scope.n] = (key, child)
+                self._child_cache[parent_state.scope.n, item] = scope.n
+            else:
+                key = node_key(item.symbol, item.prefix, child.scope.n)
+            if self.track_refs:
+                child.refs += 1
+                pending.setdefault(child.scope.n, (key, child))
+            path_items.append(item)
+            path_states.append(child)
+            path_keys.append(key)
+        if labels is None:
+            labels = [state.scope.n for state in path_states[1:]]
+        for key, state in pending.values():
+            self.tree.put(key, state.to_bytes())
+        doc_id = self.docstore.add(self._make_payload(sequence, labels))
+        self._attach_doc(labels[-1], doc_id)
+        self._bump_max_prefix_len(max(item.depth for item in sequence))
+        return doc_id
+
+    def _validate_key_sizes(self, sequence: StructureEncodedSequence) -> None:
+        """Reject sequences whose keys cannot fit a B+Tree cell *before*
+        touching any persistent state, so a failed add never leaves a
+        partially inserted document behind."""
+        budget = self._pager.page_size // 4
+        # worst-case NodeState size given the root label width: flags +
+        # refs/k counters + up to nine label-width integers (size, parent,
+        # reserve, three chain cursors of two integers each)
+        label_width = len(encode_uint(self._root_state.scope.end))
+        value_allowance = 40 + 9 * label_width
+        for item in sequence:
+            key_size = len(node_key(item.symbol, item.prefix, self._root_state.scope.end))
+            if key_size + value_allowance > budget:
+                raise KeyTooLargeError(
+                    f"item at depth {item.depth} needs a {key_size}-byte key plus "
+                    f"{value_allowance} bytes of labelling state; use a larger "
+                    f"page size (budget {budget} bytes/cell) or a smaller max_label"
+                )
+
+    def _find_child(
+        self,
+        item: Item,
+        parent: NodeState,
+        pending: dict[int, tuple[bytes, NodeState]],
+    ) -> Optional[NodeState]:
+        """Algorithm 4's "search in e for an immediate child scope of s".
+
+        Scans the S-Ancestor range of ``(symbol, prefix)`` inside the
+        parent scope and picks the entry whose ``parent_n`` is the parent
+        itself.  Private (borrow-labelled) nodes are never shared.
+        """
+        scope = parent.scope
+        cached_n = self._child_cache.get((scope.n, item))
+        if cached_n is not None:
+            entry = pending.get(cached_n)
+            if entry is not None:
+                return entry[1]
+            value = self.tree.get(node_key(item.symbol, item.prefix, cached_n))
+            if value is not None:
+                state = NodeState.from_bytes(cached_n, value)
+                if state.parent_n == scope.n and not state.private:
+                    return state
+            del self._child_cache[scope.n, item]  # stale (node was reclaimed)
+        lo = node_key(item.symbol, item.prefix, scope.n + 1)
+        hi = node_key(item.symbol, item.prefix, scope.end)
+        for key, value in self.tree.range(lo, hi, include_hi=True):
+            n = decode_node_key(key)[2]
+            entry = pending.get(n)
+            state = entry[1] if entry is not None else NodeState.from_bytes(n, value)
+            if state.parent_n == scope.n and not state.private:
+                self._child_cache[scope.n, item] = state.scope.n
+                return state
+        return None
+
+    def _insert_borrowed(
+        self,
+        i: int,
+        sequence: StructureEncodedSequence,
+        path_items: list[Optional[Item]],
+        path_states: list[NodeState],
+        path_keys: list[bytes],
+        pending: dict[int, tuple[bytes, NodeState]],
+    ) -> list[int]:
+        """Scope underflow repair (Section 3.4.1).
+
+        Walks the insert path upwards until an ancestor's reserve can
+        supply ``remaining + duplicated`` sequential ids; nodes below the
+        lender are duplicated as private, the rest of the sequence is
+        labelled sequentially inside the block.
+        """
+        remaining = len(sequence) - i
+        lender_idx: Optional[int] = None
+        start: Optional[int] = None
+        for t in range(i, -1, -1):
+            need = remaining + (i - t)
+            start = self.allocator.borrow_block(path_states[t], need)
+            if start is not None:
+                lender_idx = t
+                break
+        if lender_idx is None or start is None:
+            raise ScopeUnderflowError(
+                f"no ancestor reserve can cover {remaining} remaining items"
+            )
+        self.underflow_count += 1
+        # the lender's reserve watermark moved: write it back
+        lender = path_states[lender_idx]
+        pending.setdefault(lender.scope.n, (path_keys[lender_idx], lender))
+        need = remaining + (i - lender_idx)
+        # the bumped refs of abandoned shared nodes no longer apply
+        if self.track_refs:
+            for state in path_states[lender_idx + 1 :]:
+                state.refs -= 1
+        borrowed_items = [path_items[k] for k in range(lender_idx + 1, i + 1)]
+        borrowed_items.extend(sequence[j] for j in range(i, len(sequence)))
+        prev_n = path_states[lender_idx].scope.n
+        labels = [state.scope.n for state in path_states[1 : lender_idx + 1]]
+        for offset, item in enumerate(borrowed_items):
+            assert item is not None
+            n = start + offset
+            state = NodeState(
+                Scope(n, need - offset - 1),
+                parent_n=prev_n,
+                refs=1 if self.track_refs else 0,
+                private=True,
+            )
+            pending[n] = (node_key(item.symbol, item.prefix, n), state)
+            labels.append(n)
+            prev_n = n
+        return labels
+
+    # ------------------------------------------------------------------
+    # deletion
+
+    def remove(self, doc_id: int) -> None:
+        """Delete a document and reclaim unreferenced virtual nodes."""
+        if not self.track_refs:
+            raise IndexStateError(
+                "deletion requires track_refs=True (reference counting)"
+            )
+        sequence, labels = self._parse_payload(self.docstore.get(doc_id))
+        removed = self._detach_doc(labels[-1], doc_id)
+        if removed == 0:
+            raise IndexStateError(f"document {doc_id} has no DocId entry")
+        for item, n in zip(sequence, labels):
+            key = node_key(item.symbol, item.prefix, n)
+            value = self.tree.get(key)
+            if value is None:
+                raise IndexStateError(f"missing index entry for doc {doc_id} at {n}")
+            state = NodeState.from_bytes(n, value)
+            state.refs -= 1
+            if state.refs <= 0:
+                self.tree.delete(key)
+                self._child_cache.pop((state.parent_n, item), None)
+            else:
+                self.tree.put(key, state.to_bytes())
+        self.docstore.remove(doc_id)
+        self._remove_source(doc_id)
+
+    # ------------------------------------------------------------------
+    # matching
+
+    def match_sequence(self, query_sequence: QuerySequence) -> set[int]:
+        return SequenceMatcher(self).match(query_sequence)
+
+    def root_scope(self) -> Scope:
+        return self._root_state.scope
+
+    def _scope_of(self, n: int, value: bytes) -> Optional[Scope]:
+        return NodeState.from_bytes(n, value).scope
+
+    # ------------------------------------------------------------------
+    # payloads: sequence bytes + the node labels of the insert path
+
+    def _make_payload(
+        self, sequence: StructureEncodedSequence, labels: list[int]
+    ) -> bytes:
+        seq_bytes = sequence.to_bytes()
+        out = bytearray(encode_uint(len(seq_bytes)))
+        out += seq_bytes
+        for n in labels:
+            out += encode_uint(n)
+        return bytes(out)
+
+    def _parse_payload(self, payload: bytes) -> tuple[StructureEncodedSequence, list[int]]:
+        seq_len, offset = decode_uint(payload)
+        sequence = StructureEncodedSequence.from_bytes(payload[offset : offset + seq_len])
+        offset += seq_len
+        labels: list[int] = []
+        while offset < len(payload):
+            n, offset = decode_uint(payload, offset)
+            labels.append(n)
+        return sequence, labels
+
+    def _payload_to_sequence(self, payload: bytes) -> StructureEncodedSequence:
+        return self._parse_payload(payload)[0]
+
+    # ------------------------------------------------------------------
+    # maintenance / measurements
+
+    def flush(self) -> None:
+        """Persist both B+Trees (and through them the pager)."""
+        self.tree.flush()
+        self.docid_tree.flush()
+        self._pager.sync()
+
+    def close(self) -> None:
+        self.tree.close()
+        self.docid_tree.close()
+        self._pager.close()
+
+    def index_stats(self) -> dict[str, TreeStats]:
+        """Per-tree size statistics (Figure 11(a))."""
+        return {"combined": self.tree.stats(), "docid": self.docid_tree.stats()}

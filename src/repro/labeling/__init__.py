@@ -1,0 +1,27 @@
+"""Scope labelling: static (RIST) and dynamic (ViST) schemes plus clues."""
+
+from repro.labeling.clues import VALUE, FollowCandidate, FollowSets
+from repro.labeling.dynamic import (
+    DEFAULT_MAX,
+    Chain,
+    ClueAllocator,
+    LambdaAllocator,
+    NodeState,
+    ScopeAllocator,
+    UniformAllocator,
+)
+from repro.labeling.scope import Scope
+
+__all__ = [
+    "Scope",
+    "Chain",
+    "NodeState",
+    "ScopeAllocator",
+    "LambdaAllocator",
+    "UniformAllocator",
+    "ClueAllocator",
+    "FollowSets",
+    "FollowCandidate",
+    "VALUE",
+    "DEFAULT_MAX",
+]

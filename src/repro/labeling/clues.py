@@ -1,0 +1,135 @@
+"""Semantic/statistical clues for dynamic labelling (paper Eq. 1–4).
+
+Given a schema, this module predicts, for any sequence item ``x``, the
+ordered list of items that can *immediately follow* ``x`` in a
+structure-encoded sequence — the paper's *follow set* (Definition 2) —
+together with the probability that each one is the immediate successor
+(Eq. 2, with the multiple-occurrence adjustment).  The clue-based scope
+allocator then carves the parent scope proportionally (Eq. 3–4).
+
+The follow set of ``x = (sym, prefix)`` is assembled in preorder order:
+
+1. the *value leaf* of ``sym`` (our sibling order puts a node's value
+   before its element children);
+2. the declared children of ``sym``, in schema order, each with
+   ``p(child | sym)``;
+3. a repeat of ``sym`` itself when its declaration under its parent is
+   ``*``/``+`` (geometric continuation probability — the paper's
+   ``p_n(x|d)`` model);
+4. the following siblings of ``sym`` under its parent, then of each
+   ancestor in turn, each with ``p(y | d)`` where ``d`` is the declaring
+   parent (Eq. 1: independence across branches lets ``p(y|x) = p(y|d)``);
+5. implicitly ε (the sequence ends) — never allocated, as the paper
+   notes below Eq. 3.
+
+For a *value* item the chain starts at step 2 with the children of the
+element that owns the value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.doc.schema import Schema
+from repro.sequence.encoding import Item
+
+VALUE = "\x00value"  # sentinel label for "a hashed value leaf"
+
+__all__ = ["VALUE", "FollowCandidate", "FollowSets"]
+
+
+@dataclass(frozen=True)
+class FollowCandidate:
+    """One entry of a follow set: the item shape and its Eq. 2 probability."""
+
+    label: str  # element/attribute name, or the VALUE sentinel
+    prefix: tuple[str, ...]
+    probability: float
+
+    @property
+    def is_value(self) -> bool:
+        return self.label == VALUE
+
+    def matches(self, item: Item) -> bool:
+        """True when ``item`` instantiates this candidate."""
+        if item.prefix != self.prefix:
+            return False
+        if self.is_value:
+            return item.is_value
+        return item.symbol == self.label
+
+
+class FollowSets:
+    """Computes and caches follow sets over a schema."""
+
+    def __init__(self, schema: Schema, *, value_prob: float = 0.9) -> None:
+        self.schema = schema
+        self.value_prob = value_prob
+        self._cache: dict[tuple, list[FollowCandidate]] = {}
+
+    def root_candidates(self) -> list[FollowCandidate]:
+        """Candidates for the first item of any sequence (the record root)."""
+        return [FollowCandidate(self.schema.root, (), 1.0)]
+
+    def candidates(self, item: Item) -> list[FollowCandidate]:
+        """Ordered follow set of ``item`` with immediate-successor probs."""
+        key = (item.symbol if not item.is_value else VALUE, item.prefix)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._compute(item)
+            self._cache[key] = cached
+        return cached
+
+    # -- internals -----------------------------------------------------------
+
+    def _compute(self, item: Item) -> list[FollowCandidate]:
+        raw: list[tuple[str, tuple[str, ...], float]] = []
+        if item.is_value:
+            # value leaf: successors start at the owning element's children
+            chain = item.prefix
+            if chain:
+                self._append_children(raw, chain[-1], chain, include_value=False)
+        else:
+            label = str(item.symbol)
+            chain = item.prefix + (label,)
+            self._append_children(raw, label, chain, include_value=True)
+        # climb the chain: repeats of each node, then its following siblings
+        for depth in range(len(chain) - 1, 0, -1):
+            current = chain[depth]
+            parent = chain[depth - 1]
+            prefix = chain[:depth]
+            decl = self.schema.get(parent)
+            if decl is None:
+                continue
+            spec = decl.child(current)
+            if spec is not None and spec.repeatable:
+                raw.append((current, prefix, spec.repeat_continue_prob()))
+            position = decl.child_position(current)
+            start = position + 1 if position is not None else len(decl.children)
+            for later in decl.children[start:]:
+                raw.append((later.name, prefix, later.prob))
+        # chain Eq. 2: Px(y_i) = p_i * prod_{j<i} (1 - p_j)
+        out: list[FollowCandidate] = []
+        still_here = 1.0
+        for label, prefix, prob in raw:
+            prob = min(max(prob, 0.0), 1.0)
+            out.append(FollowCandidate(label, prefix, prob * still_here))
+            still_here *= 1.0 - prob
+        return out
+
+    def _append_children(
+        self,
+        raw: list[tuple[str, tuple[str, ...], float]],
+        label: str,
+        chain: tuple[str, ...],
+        include_value: bool,
+    ) -> None:
+        decl = self.schema.get(label)
+        if include_value:
+            has_value = decl is None or decl.has_text or not decl.children
+            if has_value:
+                raw.append((VALUE, chain, self.value_prob))
+        if decl is None:
+            return
+        for spec in decl.children:
+            raw.append((spec.name, chain, spec.prob))

@@ -1,0 +1,346 @@
+"""Dynamic virtual suffix tree labelling (paper Section 3.4.1).
+
+ViST never materialises the suffix tree.  Each (virtual) node carries a
+*dynamic scope* ``<n, size, ...>``; when a new child must be created, a
+sub-scope is carved out of the parent on the fly (Algorithm 3):
+
+* with clues (Eq. 3–4): each follow-set candidate owns a deterministic
+  slot sized by its Eq. 2 probability;
+* without clues (Eq. 5–6): the ``k``-th inserted child receives
+  ``(r - l - 1)(λ-1)^{k-1} / λ^k`` of the parent range.
+
+Every node also *reserves* the tail of its scope, and when allocation
+bottoms out (scope underflow), the insert path borrows a sequential block
+of ids from the nearest ancestor whose reserve can cover the rest of the
+sequence — the paper's repair, implemented in
+:class:`repro.index.vist.VistIndex`.
+
+:class:`NodeState` is the bookkeeping stored in each S-Ancestor B+Tree
+entry: the scope, the parent id (used for the immediate-child test of
+Algorithm 4), λ-chain cursors, the reserve watermark and a reference
+count for deletion.  λ-chains persist a ``(next, remaining)`` cursor so
+allocating the ``k``-th child is O(1) in exact integer arithmetic — no
+floating point ever touches a label, because at ``Max = 2**256`` float
+rounding would overlap scopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.doc.stats import CorpusStats
+from repro.errors import CodecError, LabelingError
+from repro.labeling.clues import FollowCandidate, FollowSets
+from repro.labeling.scope import Scope
+from repro.sequence.encoding import Item
+from repro.storage.serialization import decode_uint, encode_uint
+
+DEFAULT_MAX = 1 << 256  # root scope [0, 2^256); labels are unbounded ints
+
+_FLAG_PRIVATE = 0x01
+_WEIGHT_SCALE = 1_000_000
+
+__all__ = [
+    "DEFAULT_MAX",
+    "Chain",
+    "NodeState",
+    "ScopeAllocator",
+    "LambdaAllocator",
+    "UniformAllocator",
+    "ClueAllocator",
+]
+
+
+@dataclass
+class Chain:
+    """Cursor of one λ-chain: children carved left-to-right off a region."""
+
+    k: int = 0  # children allocated so far
+    next: int = 0  # next free id (valid once k > 0)
+    remaining: int = 0  # width still unallocated (valid once k > 0)
+
+    def allocate(self, region_lo: int, region_width: int, lam: int) -> Optional[Scope]:
+        """Carve the next child scope; ``None`` on underflow (Eq. 5–6)."""
+        if lam < 2:
+            lam = 2
+        if self.k == 0:
+            self.next = region_lo
+            self.remaining = region_width
+        share = self.remaining // lam
+        if share < 1:
+            return None
+        scope = Scope(self.next, share - 1)
+        self.next += share
+        self.remaining -= share
+        self.k += 1
+        return scope
+
+    def to_bytes(self) -> bytes:
+        return encode_uint(self.k) + encode_uint(self.next) + encode_uint(self.remaining)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, offset: int) -> tuple["Chain", int]:
+        k, offset = decode_uint(data, offset)
+        nxt, offset = decode_uint(data, offset)
+        remaining, offset = decode_uint(data, offset)
+        return cls(k=k, next=nxt, remaining=remaining), offset
+
+
+@dataclass
+class NodeState:
+    """Persistent per-node labelling state (the S-Ancestor entry value).
+
+    ``plain`` is the λ-scheme chain (clue-free mode); ``value`` and
+    ``extra`` are the clue allocator's value-slot and overflow chains;
+    ``reserve_used`` tracks ids lent to underflowing descendants;
+    ``refs`` counts sequences whose insertion passed through this node
+    (for deletion).  ``private`` marks borrow-labelled nodes that must
+    never be shared with later insertions (paper Section 3.4.1).
+    """
+
+    scope: Scope
+    parent_n: int
+    refs: int = 0
+    reserve_used: int = 0
+    private: bool = False
+    plain: Chain = field(default_factory=Chain)
+    value: Chain = field(default_factory=Chain)
+    extra: Chain = field(default_factory=Chain)
+
+    def to_bytes(self) -> bytes:
+        flags = _FLAG_PRIVATE if self.private else 0
+        return (
+            bytes([flags])
+            + encode_uint(self.scope.size)
+            + encode_uint(self.parent_n)
+            + encode_uint(self.refs)
+            + encode_uint(self.reserve_used)
+            + self.plain.to_bytes()
+            + self.value.to_bytes()
+            + self.extra.to_bytes()
+        )
+
+    @classmethod
+    def from_bytes(cls, n: int, data: bytes) -> "NodeState":
+        if not data:
+            raise CodecError("empty node state")
+        flags = data[0]
+        offset = 1
+        size, offset = decode_uint(data, offset)
+        parent_n, offset = decode_uint(data, offset)
+        refs, offset = decode_uint(data, offset)
+        reserve_used, offset = decode_uint(data, offset)
+        plain, offset = Chain.from_bytes(data, offset)
+        value, offset = Chain.from_bytes(data, offset)
+        extra, offset = Chain.from_bytes(data, offset)
+        if offset != len(data):
+            raise CodecError("trailing bytes in node state")
+        return cls(
+            scope=Scope(n, size),
+            parent_n=parent_n,
+            refs=refs,
+            reserve_used=reserve_used,
+            private=bool(flags & _FLAG_PRIVATE),
+            plain=plain,
+            value=value,
+            extra=extra,
+        )
+
+
+class ScopeAllocator:
+    """Base allocator: reserve accounting shared by both schemes."""
+
+    def __init__(self, *, reserve_divisor: int = 16) -> None:
+        if reserve_divisor < 2:
+            raise LabelingError("reserve_divisor must be >= 2")
+        self.reserve_divisor = reserve_divisor
+
+    # -- geometry ---------------------------------------------------------
+
+    def reserve_size(self, scope: Scope) -> int:
+        """Ids kept back at the scope tail for underflow borrowing."""
+        return scope.size // self.reserve_divisor
+
+    def usable_size(self, scope: Scope) -> int:
+        """Ids available for regular child allocation."""
+        return max(0, scope.size - self.reserve_size(scope))
+
+    def borrow_block(self, state: NodeState, count: int) -> Optional[int]:
+        """Reserve-tail block of ``count`` sequential ids, or ``None``.
+
+        The reserve occupies the last ``reserve_size`` ids of the scope;
+        blocks are handed out low-to-high via ``state.reserve_used``.
+        """
+        reserve = self.reserve_size(state.scope)
+        if count < 1 or state.reserve_used + count > reserve:
+            return None
+        start = state.scope.end - reserve + 1 + state.reserve_used
+        state.reserve_used += count
+        return start
+
+    # -- interface ----------------------------------------------------------
+
+    def place(
+        self, parent_state: NodeState, parent_item: Optional[Item], child: Item
+    ) -> Optional[Scope]:
+        """Allocate a child scope inside the parent; ``None`` on underflow.
+
+        Mutates ``parent_state`` cursors; the caller persists the state.
+        ``parent_item`` is ``None`` for the virtual root.
+        """
+        raise NotImplementedError
+
+
+class LambdaAllocator(ScopeAllocator):
+    """Clue-free allocation (Eq. 5–6): the ``k``-th child gets a λ share.
+
+    ``lam`` may be a constant or derived per parent label from
+    :class:`~repro.doc.stats.CorpusStats` (``expected_fanout``), matching
+    the paper's "rough estimation of the number of different elements
+    that follow a given element".  The λ used by a node is fixed at its
+    first child allocation (it parameterises the persisted chain).
+    """
+
+    def __init__(
+        self,
+        lam: int = 2,
+        *,
+        stats: Optional[CorpusStats] = None,
+        reserve_divisor: int = 16,
+    ) -> None:
+        super().__init__(reserve_divisor=reserve_divisor)
+        if lam < 2:
+            raise LabelingError(f"lambda must be >= 2, got {lam}")
+        self.lam = lam
+        self.stats = stats
+
+    def lam_for(self, parent_item: Optional[Item]) -> int:
+        if self.stats is None or parent_item is None:
+            return self.lam
+        if parent_item.is_value:
+            label = parent_item.prefix[-1] if parent_item.prefix else ""
+        else:
+            label = str(parent_item.symbol)
+        return max(2, round(self.stats.expected_fanout(label, default=self.lam)))
+
+    def place(
+        self, parent_state: NodeState, parent_item: Optional[Item], child: Item
+    ) -> Optional[Scope]:
+        scope = parent_state.scope
+        return parent_state.plain.allocate(
+            scope.n + 1, self.usable_size(scope), self.lam_for(parent_item)
+        )
+
+
+class UniformAllocator(ScopeAllocator):
+    """Equal-share allocation for a known child-count estimate.
+
+    Section 3.4.1, "Dynamic Scope Allocation without Clues": when "all
+    that we can rely on is a rough estimation of the number of different
+    elements that follow a given element ... the best we can do is to
+    assume each of these elements occurs at roughly the same rate" —
+    e.g. ``CountryOfBirth`` with ≈100 distinct values.  The ``k``-th
+    inserted child receives exactly ``usable / m``; the ``m+1``-th child
+    underflows (and borrows), which is the price of a tight estimate.
+    """
+
+    def __init__(self, expected_children: int, *, reserve_divisor: int = 16) -> None:
+        super().__init__(reserve_divisor=reserve_divisor)
+        if expected_children < 1:
+            raise LabelingError("expected_children must be >= 1")
+        self.expected_children = expected_children
+
+    def place(
+        self, parent_state: NodeState, parent_item: Optional[Item], child: Item
+    ) -> Optional[Scope]:
+        scope = parent_state.scope
+        usable = self.usable_size(scope)
+        share = usable // self.expected_children
+        k = parent_state.plain.k
+        if share < 1 or k >= self.expected_children:
+            return None
+        child_scope = Scope(scope.n + 1 + k * share, share - 1)
+        parent_state.plain.k = k + 1
+        return child_scope
+
+
+class ClueAllocator(ScopeAllocator):
+    """Clue-based allocation (Eq. 1–4) with a λ fallback region.
+
+    The usable range splits into a *clue region* (``clue_fraction`` of
+    it) carved into follow-set slots proportional to Eq. 2 probabilities,
+    and an *overflow region* for children the schema did not predict.
+    Element candidates own their whole slot (the trie has at most one
+    child per item).  The value slot hosts every distinct hashed value
+    through a λ-chain with ``λ = value cardinality`` — the paper's
+    uniform-rate assumption for attribute values.
+
+    All slot boundaries are computed with integer weights
+    (``round(p * 1e6)``); floats never touch label arithmetic.
+    """
+
+    def __init__(
+        self,
+        follow_sets: FollowSets,
+        *,
+        clue_fraction: float = 0.875,
+        fallback_lam: int = 4,
+        reserve_divisor: int = 16,
+    ) -> None:
+        super().__init__(reserve_divisor=reserve_divisor)
+        if not 0.0 < clue_fraction < 1.0:
+            raise LabelingError("clue_fraction must be in (0, 1)")
+        if fallback_lam < 2:
+            raise LabelingError("fallback_lam must be >= 2")
+        self.follow_sets = follow_sets
+        self.fallback_lam = fallback_lam
+        self._frac_num = round(clue_fraction * 1024)
+        self._frac_den = 1024
+
+    def place(
+        self, parent_state: NodeState, parent_item: Optional[Item], child: Item
+    ) -> Optional[Scope]:
+        scope = parent_state.scope
+        usable = self.usable_size(scope)
+        clue_width = usable * self._frac_num // self._frac_den
+        extra_lo = scope.n + 1 + clue_width
+        extra_width = usable - clue_width
+        if parent_item is None:
+            candidates = self.follow_sets.root_candidates()
+        else:
+            candidates = self.follow_sets.candidates(parent_item)
+        slot = self._find_slot(candidates, child, scope.n + 1, clue_width)
+        if slot is None:
+            # not predicted by the schema: λ-chain in the overflow region
+            return parent_state.extra.allocate(extra_lo, extra_width, self.fallback_lam)
+        slot_lo, slot_width, is_value = slot
+        if not is_value:
+            if slot_width < 1:
+                return None
+            return Scope(slot_lo, slot_width - 1)
+        # value slot: λ-chain with λ = estimated number of distinct values
+        owner = child.prefix[-1] if child.prefix else self.follow_sets.schema.root
+        lam = max(2, self.follow_sets.schema.value_cardinality(owner))
+        return parent_state.value.allocate(slot_lo, slot_width, lam)
+
+    @staticmethod
+    def _find_slot(
+        candidates: list[FollowCandidate],
+        child: Item,
+        lo: int,
+        width: int,
+    ) -> Optional[tuple[int, int, bool]]:
+        """Deterministic Eq. 3–4 slot for ``child``: ``(lo, width, is_value)``."""
+        weights = [max(1, round(c.probability * _WEIGHT_SCALE)) for c in candidates]
+        total = sum(weights)
+        if total <= 0:
+            return None
+        acc = 0
+        for candidate, weight in zip(candidates, weights):
+            slot_lo = lo + width * acc // total
+            slot_hi = lo + width * (acc + weight) // total
+            if candidate.matches(child):
+                return slot_lo, slot_hi - slot_lo, candidate.is_value
+            acc += weight
+        return None

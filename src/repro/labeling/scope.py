@@ -1,0 +1,62 @@
+"""Scope labels for (virtual) suffix-tree nodes.
+
+A node labelled ``<n, size>`` owns the id ``n``; its descendants carry ids
+in the half-open-at-the-left interval ``(n, n + size]`` (paper Section
+3.3).  Both labelling schemes produce the same shape:
+
+* **static** (RIST): ``n`` is the preorder number and ``size`` the number
+  of descendants, so descendant ids are exactly ``n+1 .. n+size``;
+* **dynamic** (ViST): a node owns the integer range ``[n, n + size + 1)``
+  and allocates child ranges strictly inside ``(n, n + size]``.
+
+Document-id lookups use the *closed* range ``[n, n + size]`` — the node's
+own id plus every descendant id.  (The paper writes ``[n, n+size)`` in
+Algorithm 2, which would drop documents attached to the last descendant;
+with preorder labels the closed interval is the correct reading, and our
+tests on Figure 5's example confirm it.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LabelingError
+
+__all__ = ["Scope"]
+
+
+@dataclass(frozen=True)
+class Scope:
+    """A ``<n, size>`` label."""
+
+    n: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise LabelingError(f"scope id must be non-negative, got {self.n}")
+        if self.size < 0:
+            raise LabelingError(f"scope size must be non-negative, got {self.size}")
+
+    @property
+    def end(self) -> int:
+        """Largest id this scope covers (``n + size``)."""
+        return self.n + self.size
+
+    def contains_descendant_id(self, node_id: int) -> bool:
+        """True when ``node_id`` lies in ``(n, n + size]`` — a descendant."""
+        return self.n < node_id <= self.end
+
+    def covers(self, other: "Scope") -> bool:
+        """True when ``other`` is a descendant scope: strictly inside."""
+        return self.n < other.n and other.end <= self.end
+
+    def covers_or_equal(self, other: "Scope") -> bool:
+        return self == other or self.covers(other)
+
+    def doc_range(self) -> tuple[int, int]:
+        """Closed id interval ``[n, n + size]`` for DocId lookups."""
+        return self.n, self.end
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.n},{self.size}>"

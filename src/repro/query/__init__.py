@@ -1,0 +1,27 @@
+"""Query layer: AST, XPath-subset parser, and sequence translation."""
+
+from repro.query.ast import (
+    DSLASH_LABEL,
+    STAR_LABEL,
+    Dslash,
+    PrefixToken,
+    QueryItem,
+    QueryNode,
+    QuerySequence,
+    Star,
+)
+from repro.query.translate import QueryTranslator
+from repro.query.xpath import parse_xpath
+
+__all__ = [
+    "QueryNode",
+    "QueryItem",
+    "QuerySequence",
+    "Star",
+    "Dslash",
+    "PrefixToken",
+    "STAR_LABEL",
+    "DSLASH_LABEL",
+    "parse_xpath",
+    "QueryTranslator",
+]

@@ -1,0 +1,208 @@
+"""Query trees and query sequences.
+
+A structural XML query is a tree (paper Figure 2): nodes are element
+labels, ``*`` (any single element) or ``//`` (any chain of elements, zero
+or more), and nodes may carry an equality predicate on their value.
+
+Translation (:mod:`repro.query.translate`) turns a query tree into one or
+more *query sequences* of :class:`QueryItem`.  Unlike data items, a query
+item's prefix is a tuple of *tokens*: concrete labels mixed with
+:class:`Star`/:class:`Dslash` placeholders.  Each placeholder carries the
+identity of the wildcard query node it came from, so the matcher can bind
+it on first contact and instantiate later occurrences consistently —
+Section 3.3: "the matching of ``(L, P*)`` will instantiate the ``*`` in
+``(v2, P*L)`` to a concrete symbol".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.errors import QueryError
+
+STAR_LABEL = "*"
+DSLASH_LABEL = "//"
+
+__all__ = [
+    "STAR_LABEL",
+    "DSLASH_LABEL",
+    "QueryNode",
+    "Star",
+    "Dslash",
+    "PrefixToken",
+    "QueryItem",
+    "QuerySequence",
+]
+
+
+@dataclass
+class QueryNode:
+    """One node of a query tree.
+
+    ``predicate`` marks children attached by a ``[...]`` predicate (set
+    by the XPath parser); the remaining child, if any, continues the main
+    location path and its deepest node is the query's *result node* —
+    matching is unaffected, but node-granularity results
+    (:meth:`repro.index.base.XmlIndexBase.query_nodes`) need the
+    distinction.
+    """
+
+    label: str  # element/attribute name, or STAR_LABEL / DSLASH_LABEL
+    children: list["QueryNode"] = field(default_factory=list)
+    value: Optional[str] = None  # value predicate operand
+    predicate: bool = False  # True when this branch came from [...]
+    op: str = "="  # value comparison: = != < <= > >=
+
+    VALUE_OPS = ("=", "!=", "<=", ">=", "<", ">")
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise QueryError("query node label must be non-empty")
+        if self.op not in self.VALUE_OPS:
+            raise QueryError(f"unsupported value operator {self.op!r}")
+
+    def main_child(self) -> Optional["QueryNode"]:
+        """The child continuing the location path (None at the result node)."""
+        for child in reversed(self.children):
+            if not child.predicate:
+                return child
+        return None
+
+    def result_node(self) -> "QueryNode":
+        """The deepest main-path node — what an XPath engine would return."""
+        node = self
+        while True:
+            nxt = node.main_child()
+            if nxt is None:
+                return node
+            node = nxt
+
+    @property
+    def is_star(self) -> bool:
+        return self.label == STAR_LABEL
+
+    @property
+    def is_dslash(self) -> bool:
+        return self.label == DSLASH_LABEL
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.is_star or self.is_dslash
+
+    def add(self, child: "QueryNode") -> "QueryNode":
+        self.children.append(child)
+        return child
+
+    def preorder(self) -> Iterator["QueryNode"]:
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def to_xpath(self) -> str:
+        """Render back to an XPath-subset string (for messages and tests)."""
+        return "/" + self._xpath_inner()
+
+    def _xpath_inner(self) -> str:
+        # A `//` node renders as an empty step, so "a / <empty> / b" prints
+        # as the familiar "a//b".
+        out = "" if self.is_dslash else self.label
+        if self.value is not None:
+            out += f"[text(){self.op}'{self.value}']"
+        if not self.children:
+            return out
+        main = self.main_child()
+        for child in self.children:
+            if child is not main:
+                out += f"[{child._xpath_inner()}]"
+        if main is None:
+            return out
+        return out + "/" + main._xpath_inner()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryNode({self.label!r}, children={len(self.children)}, value={self.value!r})"
+
+
+@dataclass(frozen=True)
+class Star:
+    """Prefix token for a ``*`` wildcard node: exactly one label."""
+
+    wid: int  # wildcard identity for consistent binding
+
+    def __str__(self) -> str:  # pragma: no cover
+        return "*"
+
+
+@dataclass(frozen=True)
+class Dslash:
+    """Prefix token for a ``//`` wildcard node: zero or more labels."""
+
+    wid: int
+
+    def __str__(self) -> str:  # pragma: no cover
+        return "//"
+
+
+PrefixToken = Union[str, Star, Dslash]
+
+
+@dataclass(frozen=True)
+class QueryItem:
+    """One element of a query sequence: symbol plus a prefix pattern."""
+
+    symbol: Union[str, int]  # label, or hashed value
+    prefix: tuple[PrefixToken, ...]
+
+    @property
+    def has_wildcards(self) -> bool:
+        return any(not isinstance(tok, str) for tok in self.prefix)
+
+    @property
+    def min_prefix_len(self) -> int:
+        """Shortest data prefix this pattern can match (``//`` may be empty)."""
+        return sum(1 for tok in self.prefix if isinstance(tok, (str, Star)))
+
+    @property
+    def is_exact_len(self) -> bool:
+        """True when every data prefix matching this pattern has one length."""
+        return not any(isinstance(tok, Dslash) for tok in self.prefix)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        sym = f"v:{self.symbol:x}" if isinstance(self.symbol, int) else self.symbol
+        return f"({sym},{''.join(str(t) for t in self.prefix)})"
+
+
+class QuerySequence:
+    """An immutable list of query items (one alternative of a query)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Iterable[QueryItem]) -> None:
+        object.__setattr__(self, "items", tuple(items))
+        if not self.items:
+            raise QueryError("a query sequence must contain at least one item")
+
+    def __setattr__(self, *_args) -> None:  # pragma: no cover - guard
+        raise AttributeError("QuerySequence is immutable")
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[QueryItem]:
+        return iter(self.items)
+
+    def __getitem__(self, index: int) -> QueryItem:
+        return self.items[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuerySequence):
+            return NotImplemented
+        return self.items == other.items
+
+    def __hash__(self) -> int:
+        return hash(self.items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QuerySequence({' '.join(map(str, self.items))})"

@@ -1,0 +1,171 @@
+"""Parser for the XPath subset used throughout the paper.
+
+Grammar (close to Table 3's queries)::
+
+    query      := ('/' | '//') step ( ('/' | '//') step )*
+    step       := nametest predicate*
+    nametest   := NAME | '@' NAME | '*'
+    predicate  := '[' predexpr ']'
+    predexpr   := 'text()' '=' literal
+                | relpath ('=' literal)?
+    relpath    := step ( ('/' | '//') step )*
+    literal    := "'" chars "'" | '"' chars '"'
+
+Attributes are treated like child elements (``@`` is accepted and
+ignored), matching the paper's model where attributes are ordinary nodes
+of the document tree.  A ``//`` separator becomes an explicit ``//`` node
+in the query tree; a leading ``//`` makes it the root, as in Table 3's
+``//author[text='David']``.  Bare-name equality like ``[key='X']`` (the
+paper writes ``[text='X']`` too) puts the value predicate on the named
+child node.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import QueryParseError
+from repro.query.ast import DSLASH_LABEL, STAR_LABEL, QueryNode
+
+_NAME_RE = re.compile(r"@?[\w.\-:]+|\*")
+
+__all__ = ["parse_xpath"]
+
+
+def parse_xpath(text: str) -> QueryNode:
+    """Parse an XPath-subset expression into a query tree (its root node)."""
+    parser = _XPathParser(text)
+    return parser.parse()
+
+
+class _XPathParser:
+    def __init__(self, text: str) -> None:
+        self.text = text.strip()
+        self.pos = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _peek(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def _accept(self, token: str) -> bool:
+        if self._peek(token):
+            self.pos += len(token)
+            return True
+        return False
+
+    def _expect(self, token: str) -> None:
+        if not self._accept(token):
+            raise self._error(f"expected {token!r}")
+
+    def _error(self, message: str) -> QueryParseError:
+        return QueryParseError(
+            f"{message} at position {self.pos} in {self.text!r}"
+        )
+
+    def _at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> QueryNode:
+        if self._at_end():
+            raise self._error("empty query")
+        chain = self._parse_path(absolute=True)
+        if not self._at_end():
+            raise self._error("trailing characters")
+        return chain
+
+    def _parse_path(self, absolute: bool) -> QueryNode:
+        """Parse a /-separated chain and return its first node."""
+        first: QueryNode | None = None
+        cursor: QueryNode | None = None
+        if absolute:
+            if self._accept("//"):
+                first, cursor = self._attach(first, cursor, QueryNode(DSLASH_LABEL))
+            else:
+                self._expect("/")
+        while True:
+            step = self._parse_step()
+            first, cursor = self._attach(first, cursor, step)
+            if self._accept("//"):
+                first, cursor = self._attach(first, cursor, QueryNode(DSLASH_LABEL))
+            elif not self._accept("/"):
+                break
+        assert first is not None
+        return first
+
+    @staticmethod
+    def _attach(
+        first: QueryNode | None, cursor: QueryNode | None, node: QueryNode
+    ) -> tuple[QueryNode, QueryNode]:
+        if first is None:
+            return node, node
+        assert cursor is not None
+        cursor.add(node)
+        return first, node
+
+    def _parse_step(self) -> QueryNode:
+        match = _NAME_RE.match(self.text, self.pos)
+        if not match:
+            raise self._error("expected a name test")
+        self.pos = match.end()
+        name = match.group().lstrip("@")
+        node = QueryNode(STAR_LABEL if name == "*" else name)
+        while self._peek("["):
+            self._parse_predicate(node)
+        return node
+
+    _VALUE_OPS = ("!=", "<=", ">=", "=", "<", ">")  # longest first
+
+    def _accept_value_op(self) -> Optional[str]:
+        for op in self._VALUE_OPS:
+            if self._accept(op):
+                return op
+        return None
+
+    def _peek_value_op(self, offset: int) -> bool:
+        rest = self.text[offset:].lstrip()
+        return any(rest.startswith(op) for op in self._VALUE_OPS)
+
+    def _parse_predicate(self, node: QueryNode) -> None:
+        self._expect("[")
+        # `[text()='v']` / `[text='v']` predicate the node's own value; only
+        # treat "text" as the function form when a comparison follows, so an
+        # element genuinely named "textfield" still parses as a branch.
+        text_form = None
+        for form in ("text()", "text"):
+            if self._peek(form) and self._peek_value_op(self.pos + len(form)):
+                text_form = form
+                break
+        if text_form is not None:
+            self._accept(text_form)
+            op = self._accept_value_op()
+            assert op is not None
+            node.value = self._parse_literal()
+            node.op = op
+        else:
+            branch = self._parse_path(absolute=False)
+            branch.predicate = True
+            op = self._accept_value_op()
+            if op is not None:
+                # the comparison applies to the *last* node of the chain
+                tail = branch
+                while tail.children:
+                    tail = tail.children[-1]
+                tail.value = self._parse_literal()
+                tail.op = op
+            node.add(branch)
+        self._expect("]")
+
+    def _parse_literal(self) -> str:
+        if self._at_end() or self.text[self.pos] not in "'\"":
+            raise self._error("expected a quoted literal")
+        quote = self.text[self.pos]
+        end = self.text.find(quote, self.pos + 1)
+        if end < 0:
+            raise self._error("unterminated literal")
+        literal = self.text[self.pos + 1 : end]
+        self.pos = end + 1
+        return literal

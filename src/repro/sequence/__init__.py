@@ -1,0 +1,20 @@
+"""Structure-encoded sequences: items, codecs, and the document transform."""
+
+from repro.sequence.encoding import (
+    Item,
+    StructureEncodedSequence,
+    item_key,
+    item_key_prefix,
+)
+from repro.sequence.transform import SequenceEncoder
+from repro.sequence.vocabulary import ValueHasher, fnv1a_64
+
+__all__ = [
+    "Item",
+    "StructureEncodedSequence",
+    "item_key",
+    "item_key_prefix",
+    "SequenceEncoder",
+    "ValueHasher",
+    "fnv1a_64",
+]

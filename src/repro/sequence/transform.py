@@ -1,0 +1,85 @@
+"""Document → structure-encoded sequence transform (paper Section 2).
+
+The transform expands a document tree (attributes and values become
+nodes), enforces the paper's sibling order, and emits the preorder list of
+``(symbol, prefix)`` items:
+
+* sibling *elements/attributes* are ordered by the schema's linear order
+  when a schema is given, else lexicographically by label;
+* multiple occurrences of the same label keep document order (the paper
+  orders them "arbitrarily" — document order makes the transform
+  deterministic);
+* value leaves sort before sibling elements, so a node's value
+  immediately follows the node, as in paper Figure 4 where ``(N, PS)`` is
+  followed by ``(v1, PSN)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.doc.model import XmlDocument, XmlNode
+from repro.doc.schema import Schema
+from repro.sequence.encoding import Item, StructureEncodedSequence
+from repro.sequence.vocabulary import ValueHasher
+
+__all__ = ["SequenceEncoder"]
+
+
+class SequenceEncoder:
+    """Reusable document-to-sequence transformer.
+
+    ``schema`` fixes the sibling order (optional); ``hasher`` is the
+    paper's ``h()`` and defaults to unbucketed 64-bit FNV-1a.  Queries
+    must be translated with the *same* encoder configuration
+    (:class:`repro.query.translate.QueryTranslator` takes one).
+    """
+
+    def __init__(
+        self,
+        schema: Optional[Schema] = None,
+        hasher: Optional[ValueHasher] = None,
+    ) -> None:
+        self.schema = schema
+        self.hasher = hasher if hasher is not None else ValueHasher()
+
+    def encode_document(self, document: XmlDocument) -> StructureEncodedSequence:
+        """Encode a whole document (its root subtree)."""
+        return self.encode_node(document.root)
+
+    def encode_node(self, node: XmlNode) -> StructureEncodedSequence:
+        """Encode the subtree rooted at ``node``."""
+        items: list[Item] = []
+        self._walk(node.expanded(), (), items)
+        return StructureEncodedSequence(items)
+
+    def sibling_sort_key(self, parent_label: str) -> Callable[[tuple[int, XmlNode]], tuple]:
+        """Sort key for ``(document_position, node)`` pairs under a parent.
+
+        Values first (document order), then schema/lexicographic label
+        order, then document order for equal labels.
+        """
+
+        def key(entry: tuple[int, XmlNode]) -> tuple:
+            position, child = entry
+            if child.is_value:
+                return (0, (0, ""), position)
+            if self.schema is not None:
+                label_key = self.schema.sibling_position(parent_label, child.label)
+            else:
+                label_key = (0, child.label)
+            return (1, label_key, position)
+
+        return key
+
+    def _walk(self, node: XmlNode, prefix: tuple[str, ...], items: list[Item]) -> None:
+        if node.is_value:
+            items.append(Item(self.hasher(node.value), prefix))
+            return
+        items.append(Item(node.label, prefix))
+        child_prefix = prefix + (node.label,)
+        ordered = sorted(
+            enumerate(node.children), key=self.sibling_sort_key(node.label)
+        )
+        for _, child in ordered:
+            self._walk(child, child_prefix, items)

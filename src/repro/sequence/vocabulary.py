@@ -1,0 +1,69 @@
+"""Value hashing — the paper's ``h()`` function.
+
+Section 2: "we use a hash function, h(), to encode attribute values into
+integers".  The hash must be *stable* across processes (index files
+persist), so Python's randomised ``hash()`` is out; we use 64-bit FNV-1a.
+
+:class:`ValueHasher` optionally folds hashes into a bucket count.  Fewer
+buckets mean smaller keys but hash collisions, which — like the structural
+ambiguities discussed in DESIGN.md — produce false positives that the
+verification filter removes; the collision ablation benchmark exercises
+exactly this trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CodecError
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+__all__ = ["fnv1a_64", "ValueHasher", "CapturingHasher"]
+
+
+def fnv1a_64(data: bytes) -> int:
+    """64-bit FNV-1a hash of a byte string."""
+    acc = _FNV_OFFSET
+    for byte in data:
+        acc ^= byte
+        acc = (acc * _FNV_PRIME) & _MASK64
+    return acc
+
+
+class ValueHasher:
+    """Maps attribute/text values to integers, ``h()`` of the paper."""
+
+    def __init__(self, buckets: Optional[int] = None) -> None:
+        if buckets is not None and buckets < 1:
+            raise CodecError(f"bucket count must be >= 1, got {buckets}")
+        self.buckets = buckets
+
+    def __call__(self, value: str) -> int:
+        h = fnv1a_64(value.strip().encode("utf-8"))
+        if self.buckets is not None:
+            h %= self.buckets
+        return h
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ValueHasher(buckets={self.buckets})"
+
+
+class CapturingHasher:
+    """Wraps a hasher, recording each raw value in emission order.
+
+    The sequence transform calls the hasher exactly once per value leaf,
+    in preorder, so :attr:`raw` aligns positionally with the value items
+    of the produced sequence — which is how the verifier recovers raw
+    strings for range predicates (they cannot be answered from hashes).
+    """
+
+    def __init__(self, base: ValueHasher) -> None:
+        self.base = base
+        self.raw: list[str] = []
+
+    def __call__(self, value: str) -> int:
+        self.raw.append(value.strip())
+        return self.base(value)

@@ -1,0 +1,248 @@
+"""Document store: document id → serialized document payload.
+
+ViST's DocId B+Tree maps scope labels to document *ids*; something still
+has to map ids back to documents — for returning results, for the
+post-verification filter (:mod:`repro.index.verification`) and for
+deletion (re-deriving the sequence of the document being removed).
+
+:class:`DocStore` assigns dense integer ids and keeps payloads either in
+memory or in an append-only record file (``[len:u32][payload]`` records,
+with a rebuilt offset table on open).  Payloads are opaque bytes; the
+index layer stores the document's structure-encoded sequence plus its
+original text through :mod:`repro.sequence.encoding` codecs.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Iterator, Optional
+
+from repro.errors import StorageError
+
+_LEN_FMT = "<I"
+_LEN_SIZE = struct.calcsize(_LEN_FMT)
+_TOMBSTONE = 0xFFFFFFFF
+
+__all__ = ["DocStore", "MemoryDocStore", "FileDocStore"]
+
+
+class DocStore:
+    """Abstract id → payload store with dense integer ids."""
+
+    def add(self, payload: bytes) -> int:
+        """Store a payload and return its new document id."""
+        raise NotImplementedError
+
+    def get(self, doc_id: int) -> bytes:
+        """Return the payload for ``doc_id``; raises for unknown/deleted ids."""
+        raise NotImplementedError
+
+    def remove(self, doc_id: int) -> None:
+        """Delete a document (its id is never reused)."""
+        raise NotImplementedError
+
+    def __contains__(self, doc_id: int) -> bool:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def ids(self) -> Iterator[int]:
+        """Iterate live document ids in ascending order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources.  Idempotent."""
+
+    def __enter__(self) -> "DocStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class MemoryDocStore(DocStore):
+    """Dict-backed store for tests and ephemeral indexes."""
+
+    def __init__(self) -> None:
+        self._docs: dict[int, bytes] = {}
+        self._next_id = 0
+
+    def add(self, payload: bytes) -> int:
+        doc_id = self._next_id
+        self._next_id += 1
+        self._docs[doc_id] = bytes(payload)
+        return doc_id
+
+    def get(self, doc_id: int) -> bytes:
+        try:
+            return self._docs[doc_id]
+        except KeyError:
+            raise StorageError(f"unknown document id {doc_id}") from None
+
+    def remove(self, doc_id: int) -> None:
+        if doc_id not in self._docs:
+            raise StorageError(f"unknown document id {doc_id}")
+        del self._docs[doc_id]
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._docs
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def ids(self) -> Iterator[int]:
+        return iter(sorted(self._docs))
+
+
+class FileDocStore(DocStore):
+    """Append-only record file with an in-memory offset table.
+
+    Deleting rewrites the record's length word as a tombstone marker; the
+    payload bytes stay in the file (compaction is out of scope — the paper
+    never measures document-store reclamation).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        existing = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        self._file = open(self.path, "r+b" if existing else "w+b")
+        self._offsets: list[Optional[int]] = []
+        self._live = 0
+        self._closed = False
+        if existing:
+            self._rebuild_offsets()
+
+    def _rebuild_offsets(self) -> None:
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        self._file.seek(0)
+        pos = 0
+        while pos < size:
+            header = self._file.read(_LEN_SIZE)
+            if len(header) != _LEN_SIZE:
+                raise StorageError(f"{self.path}: truncated record header at {pos}")
+            (length,) = struct.unpack(_LEN_FMT, header)
+            if length == _TOMBSTONE:
+                # Tombstoned record: real length follows so we can skip it.
+                extra = self._file.read(_LEN_SIZE)
+                if len(extra) != _LEN_SIZE:
+                    raise StorageError(f"{self.path}: truncated tombstone at {pos}")
+                (real_len,) = struct.unpack(_LEN_FMT, extra)
+                self._offsets.append(None)
+                pos += 2 * _LEN_SIZE + real_len
+            else:
+                self._offsets.append(pos)
+                self._live += 1
+                pos += _LEN_SIZE + length
+            self._file.seek(pos)
+        if pos != size:
+            raise StorageError(
+                f"{self.path}: truncated record file (expected {pos} bytes, "
+                f"found {size})"
+            )
+
+    def add(self, payload: bytes) -> int:
+        self._ensure_open()
+        self._file.seek(0, os.SEEK_END)
+        pos = self._file.tell()
+        self._file.write(struct.pack(_LEN_FMT, len(payload)))
+        self._file.write(payload)
+        doc_id = len(self._offsets)
+        self._offsets.append(pos)
+        self._live += 1
+        return doc_id
+
+    def get(self, doc_id: int) -> bytes:
+        self._ensure_open()
+        offset = self._offset(doc_id)
+        self._file.seek(offset)
+        (length,) = struct.unpack(_LEN_FMT, self._file.read(_LEN_SIZE))
+        if length == _TOMBSTONE:
+            raise StorageError(f"document {doc_id} was deleted")
+        payload = self._file.read(length)
+        if len(payload) != length:
+            raise StorageError(f"{self.path}: truncated payload for doc {doc_id}")
+        return payload
+
+    def remove(self, doc_id: int) -> None:
+        self._ensure_open()
+        offset = self._offset(doc_id)
+        self._file.seek(offset)
+        (length,) = struct.unpack(_LEN_FMT, self._file.read(_LEN_SIZE))
+        if length == _TOMBSTONE:
+            raise StorageError(f"document {doc_id} already deleted")
+        if length < _LEN_SIZE:
+            # The record body is too small to hold the relocated length
+            # word; pad semantics: tombstone + real length need 8 bytes, and
+            # every record reserves at least the header, so rewrite in
+            # place only when the body fits the length word.
+            raise StorageError(
+                f"document {doc_id} is too small ({length} bytes) to tombstone"
+            )
+        self._file.seek(offset)
+        self._file.write(struct.pack(_LEN_FMT, _TOMBSTONE))
+        self._file.write(struct.pack(_LEN_FMT, length - _LEN_SIZE))
+        self._offsets[doc_id] = None
+        self._live -= 1
+
+    def __contains__(self, doc_id: int) -> bool:
+        return 0 <= doc_id < len(self._offsets) and self._offsets[doc_id] is not None
+
+    def __len__(self) -> int:
+        return self._live
+
+    def ids(self) -> Iterator[int]:
+        return (i for i, off in enumerate(self._offsets) if off is not None)
+
+    def compact(self) -> int:
+        """Reclaim tombstoned payload space; returns bytes saved.
+
+        Live records are rewritten into a fresh file and the original is
+        replaced atomically.  Document ids are positional, so deleted
+        records leave an 8-byte tombstone skeleton behind — bounded waste
+        per deletion instead of the full payload.
+        """
+        self._ensure_open()
+        tmp_path = self.path + ".compact"
+        new_offsets: list[Optional[int]] = []
+        with open(tmp_path, "w+b") as out:
+            for doc_id, offset in enumerate(self._offsets):
+                pos = out.tell()
+                if offset is None:
+                    out.write(struct.pack(_LEN_FMT, _TOMBSTONE))
+                    out.write(struct.pack(_LEN_FMT, 0))
+                    new_offsets.append(None)
+                else:
+                    payload = self.get(doc_id)
+                    out.write(struct.pack(_LEN_FMT, len(payload)))
+                    out.write(payload)
+                    new_offsets.append(pos)
+            new_size = out.tell()
+        self._file.seek(0, os.SEEK_END)
+        old_size = self._file.tell()
+        self._file.close()
+        os.replace(tmp_path, self.path)
+        self._file = open(self.path, "r+b")
+        self._offsets = new_offsets
+        return old_size - new_size
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._file.flush()
+        self._file.close()
+        self._closed = True
+
+    def _offset(self, doc_id: int) -> int:
+        if not 0 <= doc_id < len(self._offsets):
+            raise StorageError(f"unknown document id {doc_id}")
+        offset = self._offsets[doc_id]
+        if offset is None:
+            raise StorageError(f"document {doc_id} was deleted")
+        return offset
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StorageError("document store is closed")

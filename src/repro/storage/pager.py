@@ -1,0 +1,307 @@
+"""Fixed-size page storage underneath the B+Tree.
+
+A :class:`Pager` hands out page ids, reads and writes fixed-size pages, and
+persists a small metadata blob (used by the B+Tree for its root pointer and
+entry count).  Two implementations are provided:
+
+* :class:`MemoryPager` — pages live in a dict; fast, used for tests and for
+  benchmark runs that do not need durability.
+* :class:`FilePager` — pages live in a single file.  Page 0 is a header
+  page holding the magic number, the page size, the free-list head and the
+  user metadata blob; data pages start at id 1.  Freed pages are chained
+  through their first 8 bytes and reused before the file grows.
+
+The pager deliberately knows nothing about B+Tree node layout; it deals in
+opaque ``bytes`` of exactly ``page_size``.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Optional
+
+from repro.errors import PageError
+
+DEFAULT_PAGE_SIZE = 4096
+
+_MAGIC = b"ViSTPGR1"
+_NIL = 0  # page id 0 is the header, so 0 doubles as the nil pointer
+_HEADER_FMT = "<8sIQQI"  # magic, page_size, npages, freelist head, meta length
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+
+__all__ = [
+    "Pager",
+    "MemoryPager",
+    "FilePager",
+    "DEFAULT_PAGE_SIZE",
+    "pack_header_page",
+    "unpack_header_page",
+]
+
+
+def pack_header_page(
+    page_size: int, npages: int, freelist: int, meta: bytes
+) -> bytes:
+    """Serialize a page-file header page (shared by File- and WalPager)."""
+    header = struct.pack(_HEADER_FMT, _MAGIC, page_size, npages, freelist, len(meta))
+    blob = header + meta
+    if len(blob) > page_size:
+        raise PageError("metadata blob does not fit in the header page")
+    return blob + b"\x00" * (page_size - len(blob))
+
+
+def unpack_header_page(raw: bytes, path: str) -> tuple[int, int, int, bytes]:
+    """Parse a header page; returns ``(page_size, npages, freelist, meta)``."""
+    if len(raw) < _HEADER_SIZE:
+        raise PageError(f"{path}: file too small to hold a pager header")
+    magic, page_size, npages, freelist, meta_len = struct.unpack_from(_HEADER_FMT, raw)
+    if magic != _MAGIC:
+        raise PageError(f"{path}: bad magic, not a repro page file")
+    if _HEADER_SIZE + meta_len > page_size:
+        raise PageError(f"{path}: corrupt header (meta length {meta_len})")
+    return page_size, npages, freelist, raw[_HEADER_SIZE : _HEADER_SIZE + meta_len]
+
+
+class Pager:
+    """Abstract page store.  Concrete pagers implement the I/O primitives."""
+
+    page_size: int
+
+    def allocate(self) -> int:
+        """Return the id of a fresh (or recycled) zeroed page."""
+        raise NotImplementedError
+
+    def read(self, page_id: int) -> bytes:
+        """Return the ``page_size`` bytes of page ``page_id``."""
+        raise NotImplementedError
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Replace page ``page_id``.  ``data`` may be shorter; it is padded."""
+        raise NotImplementedError
+
+    def free(self, page_id: int) -> None:
+        """Release a page for reuse."""
+        raise NotImplementedError
+
+    def get_metadata(self) -> bytes:
+        """Return the user metadata blob."""
+        raise NotImplementedError
+
+    def set_metadata(self, blob: bytes) -> None:
+        """Persist the user metadata blob."""
+        raise NotImplementedError
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages ever allocated (including freed ones)."""
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Flush buffered writes to the backing store."""
+
+    def close(self) -> None:
+        """Flush and release resources.  Idempotent."""
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _check_data(self, data: bytes) -> bytes:
+        if len(data) > self.page_size:
+            raise PageError(
+                f"page payload of {len(data)} bytes exceeds page size {self.page_size}"
+            )
+        if len(data) < self.page_size:
+            data = data + b"\x00" * (self.page_size - len(data))
+        return data
+
+
+class MemoryPager(Pager):
+    """In-memory pager; the default backend for benchmarks and tests."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size < 128:
+            raise PageError(f"page size {page_size} is too small (min 128)")
+        self.page_size = page_size
+        self._pages: dict[int, bytes] = {}
+        self._free: list[int] = []
+        self._next_id = 1
+        self._meta = b""
+        self._closed = False
+
+    def allocate(self) -> int:
+        self._ensure_open()
+        if self._free:
+            pid = self._free.pop()
+        else:
+            pid = self._next_id
+            self._next_id += 1
+        self._pages[pid] = b"\x00" * self.page_size
+        return pid
+
+    def read(self, page_id: int) -> bytes:
+        self._ensure_open()
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise PageError(f"page {page_id} does not exist") from None
+
+    def write(self, page_id: int, data: bytes) -> None:
+        self._ensure_open()
+        if page_id not in self._pages:
+            raise PageError(f"page {page_id} does not exist")
+        self._pages[page_id] = self._check_data(data)
+
+    def free(self, page_id: int) -> None:
+        self._ensure_open()
+        if page_id not in self._pages:
+            raise PageError(f"page {page_id} does not exist")
+        del self._pages[page_id]
+        self._free.append(page_id)
+
+    def get_metadata(self) -> bytes:
+        self._ensure_open()
+        return self._meta
+
+    def set_metadata(self, blob: bytes) -> None:
+        self._ensure_open()
+        self._meta = bytes(blob)
+
+    @property
+    def page_count(self) -> int:
+        return self._next_id - 1
+
+    @property
+    def live_page_count(self) -> int:
+        """Pages currently holding data (allocated minus freed)."""
+        return len(self._pages)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise PageError("pager is closed")
+
+
+class FilePager(Pager):
+    """Single-file pager with a persistent free list and metadata blob.
+
+    The file layout is ``[header page][data page 1][data page 2]...``.  The
+    user metadata blob is stored inside the header page after the fixed
+    header fields, so it is limited to ``page_size - 32`` bytes — ample for
+    a B+Tree root pointer and counters.
+    """
+
+    def __init__(self, path: str | os.PathLike, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size < 128:
+            raise PageError(f"page size {page_size} is too small (min 128)")
+        self.path = os.fspath(path)
+        existing = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        self._file = open(self.path, "r+b" if existing else "w+b")
+        self._closed = False
+        if existing:
+            self._load_header(page_size)
+        else:
+            self.page_size = page_size
+            self._npages = 0
+            self._freelist = _NIL
+            self._meta = b""
+            self._write_header()
+
+    def _load_header(self, requested_page_size: int) -> None:
+        self._file.seek(0)
+        raw = self._file.read(requested_page_size)
+        page_size, npages, freelist, meta = unpack_header_page(raw, self.path)
+        self.page_size = page_size
+        if len(raw) < page_size:
+            self._file.seek(0)
+            raw = self._file.read(page_size)
+            page_size, npages, freelist, meta = unpack_header_page(raw, self.path)
+        self._npages = npages
+        self._freelist = freelist
+        self._meta = meta
+
+    def _write_header(self) -> None:
+        blob = pack_header_page(self.page_size, self._npages, self._freelist, self._meta)
+        self._file.seek(0)
+        self._file.write(blob)
+
+    def _offset(self, page_id: int) -> int:
+        if page_id < 1 or page_id > self._npages:
+            raise PageError(f"page {page_id} out of range (1..{self._npages})")
+        return page_id * self.page_size
+
+    def allocate(self) -> int:
+        self._ensure_open()
+        if self._freelist != _NIL:
+            pid = self._freelist
+            raw = self.read(pid)
+            (self._freelist,) = struct.unpack_from("<Q", raw)
+            self.write(pid, b"\x00" * self.page_size)
+            self._write_header()
+            return pid
+        self._npages += 1
+        pid = self._npages
+        self._file.seek(pid * self.page_size)
+        self._file.write(b"\x00" * self.page_size)
+        self._write_header()
+        return pid
+
+    def read(self, page_id: int) -> bytes:
+        self._ensure_open()
+        self._file.seek(self._offset(page_id))
+        data = self._file.read(self.page_size)
+        if len(data) != self.page_size:
+            raise PageError(f"short read on page {page_id}")
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        self._ensure_open()
+        data = self._check_data(data)
+        self._file.seek(self._offset(page_id))
+        self._file.write(data)
+
+    def free(self, page_id: int) -> None:
+        self._ensure_open()
+        self._offset(page_id)  # validates the id
+        self.write(page_id, struct.pack("<Q", self._freelist))
+        self._freelist = page_id
+        self._write_header()
+
+    def get_metadata(self) -> bytes:
+        self._ensure_open()
+        return self._meta
+
+    def set_metadata(self, blob: bytes) -> None:
+        self._ensure_open()
+        if _HEADER_SIZE + len(blob) > self.page_size:
+            raise PageError(
+                f"metadata blob of {len(blob)} bytes exceeds header capacity"
+            )
+        self._meta = bytes(blob)
+        self._write_header()
+
+    @property
+    def page_count(self) -> int:
+        return self._npages
+
+    def sync(self) -> None:
+        self._ensure_open()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._write_header()
+        self._file.flush()
+        self._file.close()
+        self._closed = True
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise PageError("pager is closed")

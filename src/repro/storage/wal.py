@@ -1,0 +1,267 @@
+"""Crash-safe page storage: a write-ahead-logged pager.
+
+:class:`WalPager` gives the B+Tree atomic, durable commits — something
+the paper's Berkeley DB substrate provided and a plain
+:class:`~repro.storage.pager.FilePager` does not.  All mutations
+(page writes, allocations, frees, metadata updates) accumulate in an
+in-memory overlay; :meth:`WalPager.commit` makes them durable with the
+classic redo protocol:
+
+1. every dirty page (including the rebuilt header page) is appended to a
+   journal file, sealed with a CRC32 and a commit marker, and fsynced;
+2. the pages are applied to the main file and fsynced;
+3. the journal is deleted.
+
+A crash before the marker lands leaves the main file untouched (the torn
+journal is discarded on the next open); a crash after it is repaired by
+replaying the journal.  ``sync()`` is an alias for ``commit()``, so a
+B+Tree ``checkpoint()`` over a ``WalPager`` is a durable transaction
+boundary.  The file layout is FilePager-compatible: a committed database
+can be reopened with either pager.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Optional
+
+from repro.errors import PageError
+from repro.storage.pager import (
+    DEFAULT_PAGE_SIZE,
+    Pager,
+    pack_header_page,
+    unpack_header_page,
+)
+
+_WAL_MAGIC = b"ViSTWAL1"
+_WAL_HEADER_FMT = "<8sII"  # magic, page_size, page count
+_WAL_COMMIT = b"COMMITOK"
+_NIL = 0
+
+__all__ = ["WalPager"]
+
+
+class WalPager(Pager):
+    """A durable pager: FilePager layout plus a redo journal."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        journal_path: Optional[str | os.PathLike] = None,
+    ) -> None:
+        if page_size < 128:
+            raise PageError(f"page size {page_size} is too small (min 128)")
+        self.path = os.fspath(path)
+        self.journal_path = (
+            os.fspath(journal_path) if journal_path is not None else self.path + ".wal"
+        )
+        existing = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        self._file = open(self.path, "r+b" if existing else "w+b")
+        self._closed = False
+        self._recover()
+        if os.path.getsize(self.path) > 0:
+            self._file.seek(0)
+            raw = self._file.read(page_size)
+            self.page_size, self._npages, self._freelist, self._meta = (
+                unpack_header_page(raw, self.path)
+            )
+            if self.page_size != len(raw):
+                self._file.seek(0)
+                raw = self._file.read(self.page_size)
+                _, self._npages, self._freelist, self._meta = unpack_header_page(
+                    raw, self.path
+                )
+        else:
+            self.page_size = page_size
+            self._npages = 0
+            self._freelist = _NIL
+            self._meta = b""
+            self._file.write(pack_header_page(page_size, 0, _NIL, b""))
+            self._file.flush()
+        self._overlay: dict[int, bytes] = {}
+        self._header_dirty = False
+
+    # ------------------------------------------------------------------
+    # Pager interface (all mutations land in the overlay)
+
+    def allocate(self) -> int:
+        self._ensure_open()
+        if self._freelist != _NIL:
+            pid = self._freelist
+            raw = self.read(pid)
+            (self._freelist,) = struct.unpack_from("<Q", raw)
+        else:
+            self._npages += 1
+            pid = self._npages
+        self._overlay[pid] = b"\x00" * self.page_size
+        self._header_dirty = True
+        return pid
+
+    def read(self, page_id: int) -> bytes:
+        self._ensure_open()
+        cached = self._overlay.get(page_id)
+        if cached is not None:
+            return cached
+        if page_id < 1 or page_id > self._npages:
+            raise PageError(f"page {page_id} out of range (1..{self._npages})")
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) != self.page_size:
+            # allocated after the last commit but never written back: the
+            # main file has no bytes for it yet
+            return b"\x00" * self.page_size
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        self._ensure_open()
+        if page_id < 1 or page_id > self._npages:
+            raise PageError(f"page {page_id} out of range (1..{self._npages})")
+        self._overlay[page_id] = self._check_data(data)
+
+    def free(self, page_id: int) -> None:
+        self._ensure_open()
+        if page_id < 1 or page_id > self._npages:
+            raise PageError(f"page {page_id} out of range (1..{self._npages})")
+        self._overlay[page_id] = struct.pack("<Q", self._freelist) + b"\x00" * (
+            self.page_size - 8
+        )
+        self._freelist = page_id
+        self._header_dirty = True
+
+    def get_metadata(self) -> bytes:
+        self._ensure_open()
+        return self._meta
+
+    def set_metadata(self, blob: bytes) -> None:
+        self._ensure_open()
+        self._meta = bytes(blob)
+        self._header_dirty = True
+
+    @property
+    def page_count(self) -> int:
+        return self._npages
+
+    def sync(self) -> None:
+        self.commit()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.commit()
+        self._file.close()
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # the redo protocol
+
+    def commit(self) -> None:
+        """Make every buffered mutation durable (atomically)."""
+        self._ensure_open()
+        if not self._overlay and not self._header_dirty:
+            return
+        self._write_journal()
+        self._apply_overlay()
+        self._clear_journal()
+
+    def rollback(self) -> None:
+        """Discard every mutation since the last commit."""
+        self._ensure_open()
+        self._overlay.clear()
+        self._header_dirty = False
+        self._file.seek(0)
+        raw = self._file.read(self.page_size)
+        _, self._npages, self._freelist, self._meta = unpack_header_page(
+            raw, self.path
+        )
+
+    @property
+    def dirty_page_count(self) -> int:
+        """Pages buffered since the last commit (plus the header)."""
+        return len(self._overlay) + (1 if self._header_dirty else 0)
+
+    # -- internals (split out so tests can inject crashes between steps) --
+
+    def _journal_entries(self) -> list[tuple[int, bytes]]:
+        header = pack_header_page(
+            self.page_size, self._npages, self._freelist, self._meta
+        )
+        entries = [(0, header)]
+        entries.extend(sorted(self._overlay.items()))
+        return entries
+
+    def _write_journal(self) -> None:
+        entries = self._journal_entries()
+        crc = 0
+        with open(self.journal_path, "wb") as journal:
+            journal.write(
+                struct.pack(_WAL_HEADER_FMT, _WAL_MAGIC, self.page_size, len(entries))
+            )
+            for pid, data in entries:
+                record = struct.pack("<Q", pid) + data
+                crc = zlib.crc32(record, crc)
+                journal.write(record)
+            journal.write(struct.pack("<I", crc))
+            journal.write(_WAL_COMMIT)
+            journal.flush()
+            os.fsync(journal.fileno())
+
+    def _apply_overlay(self) -> None:
+        for pid, data in self._journal_entries():
+            self._file.seek(pid * self.page_size)
+            self._file.write(data)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._overlay.clear()
+        self._header_dirty = False
+
+    def _clear_journal(self) -> None:
+        if os.path.exists(self.journal_path):
+            os.remove(self.journal_path)
+
+    def _recover(self) -> None:
+        """Replay a committed journal; discard a torn one."""
+        if not os.path.exists(self.journal_path):
+            return
+        try:
+            entries, page_size = self._read_journal()
+        except PageError:
+            os.remove(self.journal_path)  # torn write: pre-commit crash
+            return
+        for pid, data in entries:
+            self._file.seek(pid * page_size)
+            self._file.write(data)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        os.remove(self.journal_path)
+
+    def _read_journal(self) -> tuple[list[tuple[int, bytes]], int]:
+        with open(self.journal_path, "rb") as journal:
+            blob = journal.read()
+        header_size = struct.calcsize(_WAL_HEADER_FMT)
+        if len(blob) < header_size + 4 + len(_WAL_COMMIT):
+            raise PageError("journal too short")
+        magic, page_size, count = struct.unpack_from(_WAL_HEADER_FMT, blob)
+        if magic != _WAL_MAGIC:
+            raise PageError("bad journal magic")
+        if not blob.endswith(_WAL_COMMIT):
+            raise PageError("journal missing commit marker")
+        body = blob[header_size : -len(_WAL_COMMIT) - 4]
+        (stored_crc,) = struct.unpack_from("<I", blob, len(blob) - len(_WAL_COMMIT) - 4)
+        if zlib.crc32(body) != stored_crc:
+            raise PageError("journal checksum mismatch")
+        record_size = 8 + page_size
+        if len(body) != count * record_size:
+            raise PageError("journal body size mismatch")
+        entries = []
+        for i in range(count):
+            offset = i * record_size
+            (pid,) = struct.unpack_from("<Q", body, offset)
+            entries.append((pid, body[offset + 8 : offset + record_size]))
+        return entries, page_size
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise PageError("pager is closed")

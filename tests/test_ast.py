@@ -1,0 +1,78 @@
+"""Guards and helpers on the query AST types."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.ast import Dslash, QueryItem, QueryNode, QuerySequence, Star
+from repro.query.xpath import parse_xpath
+
+
+class TestQueryNodeGuards:
+    def test_empty_label_rejected(self):
+        with pytest.raises(QueryError):
+            QueryNode("")
+
+    def test_wildcard_flags(self):
+        assert QueryNode("*").is_star
+        assert QueryNode("//").is_dslash
+        assert QueryNode("*").is_wildcard
+        assert not QueryNode("a").is_wildcard
+
+    def test_preorder(self):
+        root = parse_xpath("/a[b]/c")
+        labels = [n.label for n in root.preorder()]
+        assert labels == ["a", "b", "c"]
+
+    def test_main_child_skips_predicates(self):
+        root = parse_xpath("/a[b][c]/d")
+        assert root.main_child().label == "d"
+        leaf = parse_xpath("/a[b]")
+        assert leaf.main_child() is None
+        assert leaf.result_node() is leaf
+
+    def test_result_node_through_dslash(self):
+        root = parse_xpath("/a//b")
+        assert root.result_node().label == "b"
+
+
+class TestQuerySequence:
+    def test_rejects_empty(self):
+        with pytest.raises(QueryError):
+            QuerySequence([])
+
+    def test_immutable(self):
+        seq = QuerySequence([QueryItem("a", ())])
+        with pytest.raises(AttributeError):
+            seq.items = ()
+
+    def test_hash_and_eq(self):
+        a = QuerySequence([QueryItem("a", ("r",))])
+        b = QuerySequence([QueryItem("a", ("r",))])
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_indexing(self):
+        seq = QuerySequence([QueryItem("a", ()), QueryItem("b", ("a",))])
+        assert len(seq) == 2
+        assert seq[1].symbol == "b"
+        assert [i.symbol for i in seq] == ["a", "b"]
+
+
+class TestQueryItem:
+    def test_wildcard_helpers(self):
+        concrete = QueryItem("x", ("a", "b"))
+        assert not concrete.has_wildcards
+        assert concrete.min_prefix_len == 2
+        assert concrete.is_exact_len
+        starred = QueryItem("x", ("a", Star(0)))
+        assert starred.has_wildcards
+        assert starred.min_prefix_len == 2
+        assert starred.is_exact_len
+        slashed = QueryItem("x", ("a", Dslash(0)))
+        assert slashed.min_prefix_len == 1
+        assert not slashed.is_exact_len
+
+    def test_tokens_are_identity_tagged(self):
+        assert Star(0) == Star(0)
+        assert Star(0) != Star(1)
+        assert Dslash(0) != Star(0)

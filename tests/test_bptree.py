@@ -1,0 +1,335 @@
+"""Unit + property tests for the B+Tree (the Berkeley DB substitute)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DuplicateEntryError, KeyTooLargeError, StorageError
+from repro.storage.bptree import BPlusTree
+from repro.storage.cache import BufferPool
+from repro.storage.pager import FilePager, MemoryPager
+
+
+def make_tree(page_size=256):
+    return BPlusTree(MemoryPager(page_size=page_size))
+
+
+def key(i: int) -> bytes:
+    return f"k{i:08d}".encode()
+
+
+class TestBasicOps:
+    def test_empty_tree(self):
+        t = make_tree()
+        assert len(t) == 0
+        assert t.is_empty()
+        assert t.get(b"missing") is None
+        assert t.first() is None
+        assert t.last() is None
+        assert list(t.items()) == []
+
+    def test_insert_get(self):
+        t = make_tree()
+        t.insert(b"a", b"1")
+        assert t.get(b"a") == b"1"
+        assert t.contains(b"a")
+        assert not t.contains(b"b")
+        assert len(t) == 1
+
+    def test_insert_many_and_order(self):
+        t = make_tree()
+        n = 500
+        order = list(range(n))
+        random.Random(7).shuffle(order)
+        for i in order:
+            t.insert(key(i), str(i).encode())
+        assert len(t) == n
+        items = list(t.items())
+        assert [k for k, _ in items] == sorted(k for k, _ in items)
+        assert len(items) == n
+        for i in range(n):
+            assert t.get(key(i)) == str(i).encode()
+
+    def test_duplicate_keys_allowed(self):
+        t = make_tree()
+        t.insert(b"dup", b"v1")
+        t.insert(b"dup", b"v2")
+        t.insert(b"dup", b"v0")
+        assert list(t.values(b"dup")) == [b"v0", b"v1", b"v2"]
+
+    def test_exact_duplicate_pair_rejected(self):
+        t = make_tree()
+        t.insert(b"k", b"v")
+        with pytest.raises(DuplicateEntryError):
+            t.insert(b"k", b"v")
+
+    def test_exact_duplicate_pair_opt_in(self):
+        t = make_tree()
+        t.insert(b"k", b"v")
+        t.insert(b"k", b"v", allow_exact_dup=True)
+        assert len(list(t.values(b"k"))) == 2
+
+    def test_put_is_upsert(self):
+        t = make_tree()
+        t.insert(b"k", b"old1")
+        t.insert(b"k", b"old2")
+        t.put(b"k", b"new")
+        assert list(t.values(b"k")) == [b"new"]
+        assert len(t) == 1
+
+    def test_key_too_large(self):
+        t = make_tree(page_size=256)
+        with pytest.raises(KeyTooLargeError):
+            t.insert(b"x" * 300, b"")
+
+    def test_first_last(self):
+        t = make_tree()
+        for i in [5, 3, 9, 1]:
+            t.insert(key(i))
+        assert t.first()[0] == key(1)
+        assert t.last()[0] == key(9)
+
+    def test_closed_tree_rejects_ops(self):
+        t = make_tree()
+        t.close()
+        with pytest.raises(StorageError):
+            t.insert(b"a")
+
+
+class TestRangeScans:
+    @pytest.fixture
+    def tree(self):
+        t = make_tree()
+        for i in range(0, 100, 2):  # even keys 0..98
+            t.insert(key(i), str(i).encode())
+        return t
+
+    def test_full_scan(self, tree):
+        assert len(list(tree.range())) == 50
+
+    def test_half_open(self, tree):
+        got = [k for k, _ in tree.range(key(10), key(20))]
+        assert got == [key(i) for i in range(10, 20, 2)]
+
+    def test_inclusive_hi(self, tree):
+        got = [k for k, _ in tree.range(key(10), key(20), include_hi=True)]
+        assert got[-1] == key(20)
+
+    def test_exclusive_lo(self, tree):
+        got = [k for k, _ in tree.range(key(10), key(20), include_lo=False)]
+        assert got[0] == key(12)
+
+    def test_lo_between_keys(self, tree):
+        got = [k for k, _ in tree.range(key(11), key(15), include_hi=True)]
+        assert got == [key(12), key(14)]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range(key(11), key(12))) == []
+
+    def test_open_hi(self, tree):
+        got = list(tree.range(key(90), None))
+        assert [k for k, _ in got] == [key(i) for i in range(90, 100, 2)]
+
+    def test_range_spanning_many_leaves(self):
+        t = make_tree(page_size=128)
+        for i in range(300):
+            t.insert(key(i))
+        got = [k for k, _ in t.range(key(50), key(250))]
+        assert got == [key(i) for i in range(50, 250)]
+
+
+class TestDeletion:
+    def test_delete_single_pair(self):
+        t = make_tree()
+        t.insert(b"k", b"v1")
+        t.insert(b"k", b"v2")
+        assert t.delete(b"k", b"v1") == 1
+        assert list(t.values(b"k")) == [b"v2"]
+        assert len(t) == 1
+
+    def test_delete_all_for_key(self):
+        t = make_tree()
+        for v in [b"a", b"b", b"c"]:
+            t.insert(b"k", v)
+        t.insert(b"other", b"x")
+        assert t.delete(b"k") == 3
+        assert t.get(b"k") is None
+        assert t.get(b"other") == b"x"
+
+    def test_delete_missing(self):
+        t = make_tree()
+        t.insert(b"k", b"v")
+        assert t.delete(b"nope") == 0
+        assert t.delete(b"k", b"wrong-value") == 0
+        assert len(t) == 1
+
+    def test_delete_everything_then_reuse(self):
+        t = make_tree(page_size=128)
+        n = 400
+        for i in range(n):
+            t.insert(key(i), b"v")
+        for i in range(n):
+            assert t.delete(key(i)) == 1
+        assert len(t) == 0
+        assert list(t.items()) == []
+        t.insert(b"fresh", b"v")
+        assert t.get(b"fresh") == b"v"
+
+    def test_delete_random_half(self):
+        t = make_tree(page_size=128)
+        n = 500
+        for i in range(n):
+            t.insert(key(i), b"v")
+        rng = random.Random(3)
+        victims = rng.sample(range(n), n // 2)
+        for i in victims:
+            assert t.delete(key(i)) == 1
+        survivors = sorted(set(range(n)) - set(victims))
+        assert [k for k, _ in t.items()] == [key(i) for i in survivors]
+
+    def test_page_reclamation(self):
+        pager = MemoryPager(page_size=128)
+        t = BPlusTree(pager)
+        for i in range(500):
+            t.insert(key(i), b"v")
+        peak = pager.live_page_count
+        for i in range(500):
+            t.delete(key(i))
+        assert pager.live_page_count < peak / 4
+
+
+class TestPersistence:
+    def test_flush_and_reopen(self, tmp_path):
+        pager = FilePager(tmp_path / "t.db", page_size=256)
+        t = BPlusTree(pager)
+        for i in range(200):
+            t.insert(key(i), str(i).encode())
+        t.close()
+        pager.close()
+
+        pager2 = FilePager(tmp_path / "t.db")
+        t2 = BPlusTree(pager2)
+        assert len(t2) == 200
+        for i in range(200):
+            assert t2.get(key(i)) == str(i).encode()
+        pager2.close()
+
+    def test_two_trees_one_pager(self, tmp_path):
+        pager = FilePager(tmp_path / "t.db", page_size=256)
+        a = BPlusTree(pager, slot=0)
+        b = BPlusTree(pager, slot=1)
+        for i in range(100):
+            a.insert(key(i), b"A")
+            b.insert(key(i), b"B")
+        a.close()
+        b.close()
+        pager.close()
+
+        pager2 = FilePager(tmp_path / "t.db")
+        a2 = BPlusTree(pager2, slot=0)
+        b2 = BPlusTree(pager2, slot=1)
+        assert a2.get(key(5)) == b"A"
+        assert b2.get(key(5)) == b"B"
+        pager2.close()
+
+    def test_through_buffer_pool(self, tmp_path):
+        pool = BufferPool(FilePager(tmp_path / "t.db", page_size=256), capacity=8)
+        t = BPlusTree(pool)
+        for i in range(300):
+            t.insert(key(i), b"v")
+        t.checkpoint(clear_cache=True)
+        for i in range(300):
+            assert t.get(key(i)) == b"v"
+        t.close()
+        pool.close()
+
+    def test_checkpoint_clear_cache_preserves_data(self):
+        t = make_tree()
+        for i in range(100):
+            t.insert(key(i), b"v")
+        t.checkpoint(clear_cache=True)
+        assert [k for k, _ in t.items()] == [key(i) for i in range(100)]
+
+
+class TestStats:
+    def test_stats_shape(self):
+        t = make_tree(page_size=128)
+        for i in range(300):
+            t.insert(key(i), b"v")
+        s = t.stats()
+        assert s.entries == 300
+        assert s.height >= 2
+        assert s.leaf_pages > 1
+        assert s.internal_pages >= 1
+        assert s.total_pages == s.leaf_pages + s.internal_pages
+        assert s.total_bytes == s.total_pages * 128
+        assert 0 < s.used_bytes <= s.total_bytes
+
+    def test_stats_empty(self):
+        s = make_tree().stats()
+        assert s.entries == 0
+        assert s.height == 1
+        assert s.leaf_pages == 1
+        assert s.internal_pages == 0
+
+
+# ---------------------------------------------------------------------------
+# model-based property tests against a sorted reference
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete_pair", "delete_key"]),
+            st.integers(min_value=0, max_value=30),
+            st.integers(min_value=0, max_value=3),
+        ),
+        max_size=200,
+    )
+)
+def test_model_based_ops(ops):
+    """Random insert/delete sequences must match a sorted-list reference."""
+    tree = BPlusTree(MemoryPager(page_size=128))
+    model: list[tuple[bytes, bytes]] = []
+    for op, ki, vi in ops:
+        k = f"key-{ki:04d}".encode()
+        v = f"val-{vi}".encode()
+        if op == "insert":
+            if (k, v) in model:
+                with pytest.raises(DuplicateEntryError):
+                    tree.insert(k, v)
+            else:
+                tree.insert(k, v)
+                model.append((k, v))
+        elif op == "delete_pair":
+            removed = tree.delete(k, v)
+            assert removed == (1 if (k, v) in model else 0)
+            if (k, v) in model:
+                model.remove((k, v))
+        else:
+            expected = sum(1 for mk, _ in model if mk == k)
+            assert tree.delete(k) == expected
+            model = [(mk, mv) for mk, mv in model if mk != k]
+    assert len(tree) == len(model)
+    assert list(tree.items()) == sorted(model)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    keys=st.lists(st.binary(min_size=1, max_size=12), min_size=1, max_size=120, unique=True),
+    bounds=st.tuples(st.binary(max_size=12), st.binary(max_size=12)),
+)
+def test_range_matches_reference(keys, bounds):
+    tree = BPlusTree(MemoryPager(page_size=128))
+    for k in keys:
+        tree.insert(k, b"")
+    lo, hi = min(bounds), max(bounds)
+    got = [k for k, _ in tree.range(lo, hi)]
+    expected = sorted(k for k in keys if lo <= k < hi)
+    assert got == expected
+    got_inc = [k for k, _ in tree.range(lo, hi, include_lo=False, include_hi=True)]
+    expected_inc = sorted(k for k in keys if lo < k <= hi)
+    assert got_inc == expected_inc

@@ -1,0 +1,154 @@
+"""Tests for the command-line interface (index / query / stats)."""
+
+import pytest
+
+from repro.cli import main
+
+PURCHASES = """
+<purchases>
+  <purchase>
+    <seller location="boston"><item><manufacturer>intel</manufacturer></item></seller>
+    <buyer location="newyork"/>
+  </purchase>
+  <purchase>
+    <seller location="seattle"/>
+    <buyer location="boston"/>
+  </purchase>
+</purchases>
+"""
+
+DTD = """
+<!ELEMENT purchase (seller, buyer)>
+<!ELEMENT seller (item*)>
+<!ATTLIST seller location CDATA>
+<!ELEMENT buyer EMPTY>
+<!ATTLIST buyer location CDATA>
+<!ELEMENT item (manufacturer?)>
+<!ELEMENT manufacturer (#PCDATA)>
+"""
+
+
+@pytest.fixture
+def xml_file(tmp_path):
+    path = tmp_path / "purchases.xml"
+    path.write_text(PURCHASES)
+    return path
+
+
+class TestIndexCommand:
+    def test_index_whole_document(self, tmp_path, xml_file, capsys):
+        assert main(["index", str(tmp_path / "db"), str(xml_file)]) == 0
+        assert "indexed 1 record(s)" in capsys.readouterr().out
+
+    def test_index_with_split(self, tmp_path, xml_file, capsys):
+        rc = main(
+            ["index", str(tmp_path / "db"), str(xml_file), "--split", "purchase"]
+        )
+        assert rc == 0
+        assert "indexed 2 record(s)" in capsys.readouterr().out
+
+    def test_incremental_indexing(self, tmp_path, xml_file, capsys):
+        db = str(tmp_path / "db")
+        main(["index", db, str(xml_file), "--split", "purchase"])
+        main(["index", db, str(xml_file), "--split", "purchase"])
+        capsys.readouterr()
+        main(["stats", db])
+        assert "documents: 4" in capsys.readouterr().out
+
+
+class TestQueryCommand:
+    def test_query_roundtrip(self, tmp_path, xml_file, capsys):
+        db = str(tmp_path / "db")
+        main(["index", db, str(xml_file), "--split", "purchase"])
+        capsys.readouterr()
+        rc = main(["query", db, "/purchases/purchase/seller[location='boston']"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 match(es)" in out
+
+    def test_query_with_wildcards(self, tmp_path, xml_file, capsys):
+        db = str(tmp_path / "db")
+        main(["index", db, str(xml_file), "--split", "purchase"])
+        capsys.readouterr()
+        main(["query", db, "//seller[location='boston']"])
+        assert "1 match(es)" in capsys.readouterr().out
+        main(["query", db, "/purchases/purchase/*[location='boston']"])
+        assert "2 match(es)" in capsys.readouterr().out
+
+    def test_verify_flag(self, tmp_path, xml_file, capsys):
+        db = str(tmp_path / "db")
+        main(["index", db, str(xml_file)])
+        capsys.readouterr()
+        main(["query", db, "//manufacturer[text='intel']", "--verify"])
+        out = capsys.readouterr().out
+        assert "verified" in out and "1 match(es)" in out
+
+    def test_show_flag_prints_sequences(self, tmp_path, xml_file, capsys):
+        db = str(tmp_path / "db")
+        main(["index", db, str(xml_file)])
+        capsys.readouterr()
+        main(["query", db, "/purchases", "--show"])
+        out = capsys.readouterr().out
+        assert "doc 0:" in out
+
+    def test_bad_query_reports_error(self, tmp_path, xml_file, capsys):
+        db = str(tmp_path / "db")
+        main(["index", db, str(xml_file)])
+        capsys.readouterr()
+        assert main(["query", db, "not a query ["]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestNodesAndRemoveCommands:
+    def test_nodes_command(self, tmp_path, xml_file, capsys):
+        db = str(tmp_path / "db")
+        main(["index", db, str(xml_file), "--split", "purchase"])
+        capsys.readouterr()
+        assert main(["nodes", db, "/purchases/purchase/seller"]) == 0
+        out = capsys.readouterr().out
+        assert "2 node(s) in 2 document(s)" in out
+        assert ":seller" in out
+
+    def test_remove_command(self, tmp_path, xml_file, capsys):
+        db = str(tmp_path / "db")
+        main(["index", db, str(xml_file), "--split", "purchase"])
+        capsys.readouterr()
+        assert main(["remove", db, "0"]) == 0
+        assert "removed 1 document(s)" in capsys.readouterr().out
+        main(["stats", db])
+        assert "documents: 1" in capsys.readouterr().out
+
+    def test_remove_unknown_id(self, tmp_path, xml_file, capsys):
+        db = str(tmp_path / "db")
+        main(["index", db, str(xml_file)])
+        capsys.readouterr()
+        assert main(["remove", db, "99"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSchemaHandling:
+    def test_schema_stored_and_reused(self, tmp_path, xml_file, capsys):
+        dtd = tmp_path / "schema.dtd"
+        dtd.write_text(DTD)
+        db = str(tmp_path / "db")
+        main(
+            [
+                "index", db, str(xml_file),
+                "--split", "purchase", "--schema", str(dtd),
+            ]
+        )
+        capsys.readouterr()
+        # query without --schema: the stored copy must be used, so the
+        # sibling order matches and the branching query still answers
+        main(["query", db, "/purchases/purchase[seller[location='boston']]/buyer"])
+        assert "1 match(es)" in capsys.readouterr().out
+
+    def test_stats_output(self, tmp_path, xml_file, capsys):
+        db = str(tmp_path / "db")
+        main(["index", db, str(xml_file)])
+        capsys.readouterr()
+        assert main(["stats", db]) == 0
+        out = capsys.readouterr().out
+        assert "documents: 1" in out
+        assert "combined:" in out
+        assert "docid:" in out

@@ -1,0 +1,86 @@
+"""Tests for the document stores."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.docstore import FileDocStore, MemoryDocStore
+
+
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        s = MemoryDocStore()
+    else:
+        s = FileDocStore(tmp_path / "docs.dat")
+    yield s
+    s.close()
+
+
+class TestDocStoreContract:
+    def test_add_assigns_dense_ids(self, store):
+        assert store.add(b"first") == 0
+        assert store.add(b"second") == 1
+        assert store.add(b"third") == 2
+
+    def test_get_roundtrip(self, store):
+        doc_id = store.add(b"payload bytes \x00\xff")
+        assert store.get(doc_id) == b"payload bytes \x00\xff"
+
+    def test_len_and_contains(self, store):
+        a = store.add(b"aaaa")
+        store.add(b"bbbb")
+        assert len(store) == 2
+        assert a in store
+        assert 99 not in store
+
+    def test_remove(self, store):
+        a = store.add(b"aaaa")
+        b = store.add(b"bbbb")
+        store.remove(a)
+        assert a not in store
+        assert len(store) == 1
+        assert store.get(b) == b"bbbb"
+        with pytest.raises(StorageError):
+            store.get(a)
+        with pytest.raises(StorageError):
+            store.remove(a)
+
+    def test_ids_iterates_live_only(self, store):
+        ids = [store.add(f"doc{i:02d}".encode()) for i in range(5)]
+        store.remove(ids[1])
+        store.remove(ids[3])
+        assert list(store.ids()) == [ids[0], ids[2], ids[4]]
+
+    def test_get_unknown(self, store):
+        with pytest.raises(StorageError):
+            store.get(42)
+
+
+class TestFileDocStore:
+    def test_reopen_preserves_docs_and_tombstones(self, tmp_path):
+        path = tmp_path / "docs.dat"
+        s = FileDocStore(path)
+        ids = [s.add(f"document number {i}".encode()) for i in range(4)]
+        s.remove(ids[2])
+        s.close()
+
+        r = FileDocStore(path)
+        assert len(r) == 3
+        assert r.get(ids[0]) == b"document number 0"
+        assert ids[2] not in r
+        # New ids continue after the highest ever assigned.
+        assert r.add(b"new doc") == 4
+        r.close()
+
+    def test_closed_store_rejects_ops(self, tmp_path):
+        s = FileDocStore(tmp_path / "docs.dat")
+        s.close()
+        with pytest.raises(StorageError):
+            s.add(b"late")
+
+    def test_large_payload(self, tmp_path):
+        s = FileDocStore(tmp_path / "docs.dat")
+        blob = bytes(range(256)) * 1000
+        doc_id = s.add(blob)
+        assert s.get(doc_id) == blob
+        s.close()

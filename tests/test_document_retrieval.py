@@ -1,0 +1,124 @@
+"""Tests for source storage, document retrieval and docstore compaction."""
+
+import pytest
+
+from repro.doc.model import XmlNode
+from repro.errors import IndexStateError, StorageError
+from repro.index.vist import VistIndex
+from repro.sequence.transform import SequenceEncoder
+from repro.storage.docstore import FileDocStore, MemoryDocStore
+
+
+def sample_doc(tag_text: str) -> XmlNode:
+    root = XmlNode("purchase")
+    root.element("seller", text=tag_text, location="boston")
+    return root
+
+
+class TestSourceStore:
+    def make_index(self) -> VistIndex:
+        return VistIndex(SequenceEncoder(), source_store=MemoryDocStore())
+
+    def test_get_document_roundtrip(self):
+        index = self.make_index()
+        doc_id = index.add(sample_doc("acme & sons"))
+        restored = index.get_document(doc_id)
+        assert restored.root == sample_doc("acme & sons")
+
+    def test_get_document_without_source_store(self):
+        index = VistIndex(SequenceEncoder())
+        doc_id = index.add(sample_doc("x"))
+        with pytest.raises(IndexStateError):
+            index.get_document(doc_id)
+
+    def test_remove_drops_source(self):
+        index = self.make_index()
+        doc_id = index.add(sample_doc("gone"))
+        index.remove(doc_id)
+        with pytest.raises(StorageError):
+            index.get_document(doc_id)
+
+    def test_query_then_materialise(self):
+        index = self.make_index()
+        hit = index.add(sample_doc("target"))
+        index.add(sample_doc("other"))
+        (result,) = index.query("/purchase/seller[text='target']")
+        assert result == hit
+        assert "target" in index.get_document(result).to_xml()
+
+    def test_source_store_persists(self, tmp_path):
+        store = FileDocStore(tmp_path / "sources.dat")
+        index = VistIndex(SequenceEncoder(), source_store=store)
+        doc_id = index.add(sample_doc("persisted"))
+        store.close()
+        reopened = FileDocStore(tmp_path / "sources.dat")
+        assert b"persisted" in reopened.get(doc_id)
+        reopened.close()
+
+    def test_diverged_stores_detected(self):
+        rogue = MemoryDocStore()
+        rogue.add(b"already occupied")
+        index = VistIndex(SequenceEncoder(), source_store=rogue)
+        with pytest.raises(IndexStateError):
+            index.add(sample_doc("x"))
+
+
+class TestCompaction:
+    def test_compact_reclaims_space(self, tmp_path):
+        store = FileDocStore(tmp_path / "docs.dat")
+        big = b"z" * 2000
+        ids = [store.add(big) for _ in range(10)]
+        for doc_id in ids[:8]:
+            store.remove(doc_id)
+        saved = store.compact()
+        assert saved > 8 * 1900
+        # survivors intact, ids stable
+        for doc_id in ids[8:]:
+            assert store.get(doc_id) == big
+        for doc_id in ids[:8]:
+            assert doc_id not in store
+
+    def test_compact_survives_reopen(self, tmp_path):
+        path = tmp_path / "docs.dat"
+        store = FileDocStore(path)
+        a = store.add(b"first record")
+        b = store.add(b"second record")
+        store.remove(a)
+        store.compact()
+        c = store.add(b"third record")
+        store.close()
+
+        reopened = FileDocStore(path)
+        assert reopened.get(b) == b"second record"
+        assert reopened.get(c) == b"third record"
+        assert a not in reopened
+        assert len(reopened) == 2
+        reopened.close()
+
+    def test_compact_empty_store(self, tmp_path):
+        store = FileDocStore(tmp_path / "docs.dat")
+        assert store.compact() == 0
+        store.close()
+
+    def test_compact_idempotent(self, tmp_path):
+        store = FileDocStore(tmp_path / "docs.dat")
+        store.add(b"payload")
+        first = store.compact()
+        second = store.compact()
+        assert first == 0 and second == 0
+        store.close()
+
+
+class TestCliShowXml:
+    def test_show_xml_prints_documents(self, tmp_path, capsys):
+        from repro.cli import main
+
+        xml = tmp_path / "p.xml"
+        xml.write_text("<purchase><seller location='boston'>acme</seller></purchase>")
+        db = str(tmp_path / "db")
+        main(["index", db, str(xml)])
+        capsys.readouterr()
+        main(["query", db, "/purchase/seller", "--show-xml"])
+        out = capsys.readouterr().out
+        assert "<purchase>" in out
+        assert "acme" in out

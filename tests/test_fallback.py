@@ -1,0 +1,108 @@
+"""Tests for the footnote-2 fallback: relax → raw match → verify."""
+
+import pytest
+
+from repro.doc.model import XmlNode
+from repro.errors import TranslationError
+from repro.index.naive import NaiveIndex
+from repro.index.vist import VistIndex
+from repro.query.translate import QueryTranslator, relax_query_tree
+from repro.query.xpath import parse_xpath
+from repro.sequence.transform import SequenceEncoder
+
+# four same-label branches: 4! = 24 permutations > the cap below
+WIDE_QUERY = "/A[B/C][B/D][B/E]/B/F"
+
+
+def doc_with(*grandchildren: str) -> XmlNode:
+    a = XmlNode("A")
+    for label in grandchildren:
+        a.element("B").element(label)
+    return a
+
+
+class TestRelaxQueryTree:
+    def test_same_label_branches_collapse(self):
+        root = parse_xpath(WIDE_QUERY)
+        relaxed = relax_query_tree(root)
+        b_children = [c for c in relaxed.children if c.label == "B"]
+        assert len(b_children) == 1
+
+    def test_largest_branch_survives(self):
+        root = parse_xpath("/A[B/C/D/E]/B")  # first branch is deeper
+        relaxed = relax_query_tree(root)
+        (branch,) = relaxed.children
+        assert branch.children  # the deep branch, not the bare /B
+
+    def test_relaxation_preserves_values(self):
+        root = parse_xpath("/A[text='v']/B[text='w']")
+        relaxed = relax_query_tree(root)
+        assert relaxed.value == "v"
+        assert relaxed.children[0].value == "w"
+
+    def test_wildcards_deduplicated(self):
+        root = parse_xpath("/A[*[x]][*[y]]/B")
+        relaxed = relax_query_tree(root)
+        stars = [c for c in relaxed.children if c.is_wildcard]
+        assert len(stars) == 1
+
+    def test_relaxed_is_weaker(self):
+        """Every doc matching the original matches the relaxed query."""
+        from repro.index.verification import verify_document
+        from repro.sequence.vocabulary import ValueHasher
+
+        encoder = SequenceEncoder()
+        original = parse_xpath(WIDE_QUERY)
+        relaxed = relax_query_tree(original)
+        hasher = ValueHasher()
+        full = doc_with("C", "D", "E", "F")
+        partial = doc_with("C", "D")
+        for doc in (full, partial):
+            seq = encoder.encode_node(doc)
+            if verify_document(seq, original, hasher):
+                assert verify_document(seq, relaxed, hasher)
+
+
+class TestQueryFallback:
+    def make_index(self) -> VistIndex:
+        return VistIndex(SequenceEncoder(), max_alternatives=6)
+
+    def test_translation_error_without_fallback(self):
+        index = self.make_index()
+        index.add(doc_with("C", "D", "E", "F"))
+        with pytest.raises(TranslationError):
+            index.query(WIDE_QUERY, fallback=False)
+
+    def test_fallback_returns_exact_results(self):
+        index = self.make_index()
+        yes = index.add(doc_with("C", "D", "E", "F"))
+        index.add(doc_with("C", "D", "E"))  # missing F
+        index.add(doc_with("F"))
+        assert index.query(WIDE_QUERY) == [yes]
+
+    def test_fallback_matches_unconstrained_translator(self):
+        """The fallback result equals what a translator with a huge cap
+        plus verification would produce."""
+        small = self.make_index()
+        big = VistIndex(SequenceEncoder(), max_alternatives=1000)
+        docs = [
+            doc_with("C", "D", "E", "F"),
+            doc_with("F", "E", "D", "C"),
+            doc_with("C", "F"),
+            doc_with("C", "D", "F"),
+        ]
+        for doc in docs:
+            small.add(doc)
+            big.add(doc)
+        assert small.query(WIDE_QUERY) == big.query(WIDE_QUERY, verify=True)
+
+    def test_fallback_applies_to_naive_index_too(self):
+        index = NaiveIndex(SequenceEncoder(), max_alternatives=6)
+        yes = index.add(doc_with("C", "D", "E", "F"))
+        index.add(doc_with("C"))
+        assert index.query(WIDE_QUERY) == [yes]
+
+    def test_small_queries_unaffected(self):
+        index = self.make_index()
+        doc_id = index.add(doc_with("C", "D"))
+        assert index.query("/A[B/C]/B/D") == [doc_id]

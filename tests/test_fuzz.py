@@ -1,0 +1,48 @@
+"""Fuzz-style robustness tests: parsers must parse or raise, never hang
+or crash with unrelated exceptions."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.doc.parser import parse_fragment
+from repro.errors import DocumentError, QueryParseError, XmlParseError
+from repro.query.xpath import parse_xpath
+
+
+class TestXPathFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(st.text(alphabet="/*[]'\"=abc()@.-", max_size=40))
+    def test_parse_or_queryparseerror(self, text):
+        try:
+            root = parse_xpath(text)
+        except QueryParseError:
+            return
+        # whatever parsed must render and re-parse to the same tree
+        assert parse_xpath(root.to_xpath()) == root
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=30))
+    def test_arbitrary_text_never_crashes_differently(self, text):
+        try:
+            parse_xpath(text)
+        except (QueryParseError, DocumentError):
+            pass
+
+
+class TestXmlParserFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(st.text(alphabet="<>/= abc'\"&;![]-", max_size=60))
+    def test_parse_or_xmlparseerror(self, text):
+        try:
+            parse_fragment(text)
+        except XmlParseError:
+            pass
+
+    @settings(max_examples=100, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.text(max_size=50))
+    def test_arbitrary_text(self, text):
+        try:
+            parse_fragment(text)
+        except (XmlParseError, DocumentError):
+            pass

@@ -1,0 +1,148 @@
+"""Behavioural tests run uniformly over Naive, RIST and ViST.
+
+The three indexes implement the same query semantics (the paper uses one
+matching algorithm for RIST/ViST and proves the naïve algorithm
+equivalent), so every test here runs against each of them via the
+``any_index`` fixture.
+"""
+
+import pytest
+
+from tests.conftest import build_figure3_record, build_record
+
+
+@pytest.fixture
+def loaded(any_index):
+    """The Figure 3 record plus a small corpus with known answers."""
+    index = any_index
+    ids = {}
+    ids["fig3"] = index.add(build_figure3_record())
+    ids["bos_ny"] = index.add(build_record("boston", "newyork", ["intel"]))
+    ids["bos_la"] = index.add(build_record("boston", "losangeles", ["amd"]))
+    ids["sf_ny"] = index.add(build_record("sanfrancisco", "newyork", ["intel", "ibm"]))
+    ids["sf_sf"] = index.add(build_record("sanfrancisco", "sanfrancisco", []))
+    return index, ids
+
+
+class TestPaperQueries:
+    """The four queries of paper Figure 2 / Table 2."""
+
+    def test_q1_manufacturer_path(self, loaded):
+        index, ids = loaded
+        got = index.query("/P/S/I/M")
+        # every record whose seller has an item with a manufacturer
+        assert got == sorted([ids["fig3"], ids["bos_ny"], ids["bos_la"], ids["sf_ny"]])
+
+    def test_q2_boston_seller_ny_buyer(self, loaded):
+        index, ids = loaded
+        got = index.query("/P[S[L='boston']]/B[L='newyork']")
+        assert got == sorted([ids["fig3"], ids["bos_ny"]])
+
+    def test_q3_star_boston(self, loaded):
+        index, ids = loaded
+        got = index.query("/P/*[L='boston']")
+        assert got == sorted([ids["fig3"], ids["bos_ny"], ids["bos_la"]])
+
+    def test_q3_star_finds_buyers_too(self, loaded):
+        index, ids = loaded
+        got = index.query("/P/*[L='newyork']")
+        assert got == sorted([ids["fig3"], ids["bos_ny"], ids["sf_ny"]])
+
+    def test_q4_dslash_intel(self, loaded):
+        index, ids = loaded
+        got = index.query("/P//I[M='intel']")
+        assert got == sorted([ids["bos_ny"], ids["sf_ny"]])
+
+    def test_q4_dslash_reaches_subitems(self, loaded):
+        index, ids = loaded
+        # part#2 is the manufacturer of a sub-item in the Figure 3 record
+        got = index.query("/P//I[M='part#2']")
+        assert got == [ids["fig3"]]
+        # a direct-path query cannot reach the nested item
+        assert index.query("/P/S/I[M='part#2']") == []
+        # but the two-level path can
+        assert index.query("/P/S/I/I[M='part#2']") == [ids["fig3"]]
+
+
+class TestQueryShapes:
+    def test_no_match_returns_empty(self, loaded):
+        index, _ = loaded
+        assert index.query("/P/S/I[M='nonexistent']") == []
+        assert index.query("/Q") == []
+
+    def test_root_only_query(self, loaded):
+        index, ids = loaded
+        assert index.query("/P") == sorted(ids.values())
+
+    def test_leading_dslash(self, loaded):
+        index, ids = loaded
+        got = index.query("//L[text='boston']")
+        assert got == sorted([ids["fig3"], ids["bos_ny"], ids["bos_la"]])
+
+    def test_leading_star(self, loaded):
+        index, ids = loaded
+        got = index.query("/*/B")
+        assert got == sorted(ids.values())
+
+    def test_value_on_deep_path(self, loaded):
+        index, ids = loaded
+        got = index.query("/P/S/N[text='dell']")
+        assert got == [ids["fig3"]]
+
+    def test_multi_branch_query(self, loaded):
+        index, ids = loaded
+        got = index.query("/P[S[N='dell']][B[N='panasia']]")
+        assert got == [ids["fig3"]]
+
+    def test_star_binding_consistency(self, loaded):
+        index, ids = loaded
+        # The same * must bind to one label for both L and N:
+        # seller has N=seller-of-boston and L=boston; no single element of
+        # sf_ny has L='boston'.
+        got = index.query("/P/*[L='boston'][N='seller-of-boston']")
+        assert got == sorted([ids["bos_ny"], ids["bos_la"]])
+
+    def test_query_tree_input(self, loaded):
+        index, ids = loaded
+        from repro.query.xpath import parse_xpath
+
+        tree = parse_xpath("/P/S[L='boston']")
+        assert index.query(tree) == index.query("/P/S[L='boston']")
+
+    def test_verified_mode_agrees_on_clean_queries(self, loaded):
+        index, _ = loaded
+        for expr in ["/P/S/I/M", "/P[S[L='boston']]/B[L='newyork']", "/P//I[M='intel']"]:
+            assert index.query(expr) == index.query(expr, verify=True)
+
+
+class TestSameLabelBranches:
+    def test_q5_union_of_permutations(self, any_index):
+        from repro.doc.model import XmlNode
+
+        index = any_index
+        # doc1: A with B(C) before B(D); doc2: reversed; doc3: one B with only C
+        def doc(first, second):
+            a = XmlNode("A")
+            a.element("B").element(first)
+            a.element("B").element(second)
+            return a
+
+        d1 = index.add(doc("C", "D"))
+        d2 = index.add(doc("D", "C"))
+        a3 = XmlNode("A")
+        a3.element("B").element("C")
+        d3 = index.add(a3)
+        got = index.query("/A[B/C]/B/D")
+        assert got == sorted([d1, d2])
+
+
+class TestDocumentRoundTrip:
+    def test_load_sequence(self, loaded):
+        index, ids = loaded
+        seq = index.load_sequence(ids["fig3"])
+        expected = index.encoder.encode_node(build_figure3_record())
+        assert seq == expected
+
+    def test_len(self, loaded):
+        index, ids = loaded
+        assert len(index) == len(ids)

@@ -1,0 +1,75 @@
+"""Tests for the prefix-pattern matcher used by Algorithm 2."""
+
+from repro.index.matching import match_prefix_pattern, resolve_pattern
+from repro.query.ast import Dslash, Star
+
+
+class TestMatchPrefixPattern:
+    def test_concrete_only(self):
+        assert match_prefix_pattern(("P", "S"), ("P", "S")) == [()]
+        assert match_prefix_pattern(("P", "S"), ("P", "B")) == []
+        assert match_prefix_pattern(("P",), ("P", "S")) == []  # length must match
+
+    def test_unbound_star_binds_one_label(self):
+        results = match_prefix_pattern(("P", Star(0)), ("P", "S"))
+        assert results == [((0, ("S",)),)]
+
+    def test_bound_star_must_agree(self):
+        binding = ((0, ("S",)),)
+        assert match_prefix_pattern(("P", Star(0), "L"), ("P", "S", "L"), binding)
+        assert not match_prefix_pattern(("P", Star(0), "L"), ("P", "B", "L"), binding)
+
+    def test_star_cannot_match_empty(self):
+        assert match_prefix_pattern((Star(0),), ()) == []
+
+    def test_unbound_dslash_matches_any_segment(self):
+        results = match_prefix_pattern(("P", Dslash(0), "I"), ("P", "S", "I", "I"))
+        assert results == [((0, ("S", "I")),)]
+
+    def test_dslash_matches_empty_segment(self):
+        results = match_prefix_pattern(("P", Dslash(0)), ("P",))
+        assert results == [((0, ()),)]
+
+    def test_two_dslash_yield_multiple_splits(self):
+        results = match_prefix_pattern((Dslash(0), "a", Dslash(1)), ("a", "a", "a"))
+        # 'a' can be data position 0, 1 or 2
+        assert len(results) == 3
+
+    def test_bound_dslash_must_agree(self):
+        binding = ((0, ("S",)),)
+        assert match_prefix_pattern(("P", Dslash(0), "L"), ("P", "S", "L"), binding)
+        assert not match_prefix_pattern(("P", Dslash(0), "L"), ("P", "B", "L"), binding)
+        assert not match_prefix_pattern(("P", Dslash(0), "L"), ("P", "L"), binding)
+
+    def test_dedupes_identical_binding_sets(self):
+        results = match_prefix_pattern((Dslash(0), Dslash(0)), ())
+        assert results == [((0, ()),)]
+
+
+class TestResolvePattern:
+    def test_all_concrete(self):
+        leading, tail = resolve_pattern(("P", "S"), ())
+        assert leading == ("P", "S")
+        assert tail == ()
+
+    def test_stops_at_unbound_wildcard(self):
+        leading, tail = resolve_pattern(("P", Star(0), "L"), ())
+        assert leading == ("P",)
+        assert tail == (Star(0), "L")
+
+    def test_bound_wildcard_extends_leading(self):
+        leading, tail = resolve_pattern(("P", Star(0), "L"), ((0, ("S",)),))
+        assert leading == ("P", "S", "L")
+        assert tail == ()
+
+    def test_bound_dslash_expands_labels(self):
+        leading, tail = resolve_pattern(("P", Dslash(0), "I"), ((0, ("S", "I")),))
+        assert leading == ("P", "S", "I", "I")
+        assert tail == ()
+
+    def test_bound_wildcard_after_unbound_goes_to_tail(self):
+        leading, tail = resolve_pattern(
+            ("P", Star(0), Star(1)), ((1, ("X",)),)
+        )
+        assert leading == ("P",)
+        assert tail == (Star(0), "X")

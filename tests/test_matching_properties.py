@@ -1,0 +1,127 @@
+"""Property tests for matching semantics with random wildcard queries.
+
+Raw ViST matching must never produce a false *negative* relative to the
+XPath-embedding oracle for single-path queries (which avoid the known
+branch ambiguities), and must always be a superset of the oracle for
+arbitrary wildcard paths.  These invariants are checked over random
+corpora and random query paths containing ``*`` and ``//``.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.doc.model import XmlNode
+from repro.index.verification import verify_document
+from repro.index.vist import VistIndex
+from repro.query.ast import DSLASH_LABEL, STAR_LABEL, QueryNode
+from repro.sequence.transform import SequenceEncoder
+
+LABELS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def random_tree(draw):
+    shape = draw(
+        st.lists(
+            st.tuples(st.sampled_from(LABELS), st.integers(0, 99), st.booleans()),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    root = XmlNode("r")
+    nodes = [root]
+    for label, pick, with_value in shape:
+        parent = nodes[pick % len(nodes)]
+        child = parent.element(label)
+        if with_value:
+            child.text = draw(st.sampled_from(["x", "y"]))
+        nodes.append(child)
+    return root
+
+
+@st.composite
+def random_path_query(draw):
+    """A single-path query /r/step/step... with optional wildcards/values."""
+    steps = draw(
+        st.lists(
+            st.sampled_from(LABELS + [STAR_LABEL, DSLASH_LABEL]),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    # collapse adjacent //'s (the parser never produces them)
+    cleaned = []
+    for label in steps:
+        if label == DSLASH_LABEL and cleaned and cleaned[-1] == DSLASH_LABEL:
+            continue
+        cleaned.append(label)
+    if cleaned[-1] == DSLASH_LABEL:
+        cleaned.append(draw(st.sampled_from(LABELS)))
+    root = QueryNode("r")
+    cursor = root
+    for label in cleaned:
+        cursor = cursor.add(QueryNode(label))
+    if draw(st.booleans()) and not cursor.is_wildcard:
+        cursor.value = draw(st.sampled_from(["x", "y"]))
+    return root
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(docs=st.lists(random_tree(), min_size=1, max_size=10), query=random_path_query())
+def test_single_path_queries_are_exact(docs, query):
+    """For path queries (no branches) raw matching equals the oracle."""
+    encoder = SequenceEncoder()
+    index = VistIndex(SequenceEncoder())
+    expected = []
+    for i, doc in enumerate(docs):
+        index.add(doc)
+        if verify_document(encoder.encode_node(doc), query, encoder.hasher):
+            expected.append(i)
+    assert index.query(query) == expected
+
+
+@st.composite
+def random_branch_query(draw):
+    """A query tree with up to two branches (may trigger ambiguities)."""
+    root = QueryNode("r")
+    for _ in range(draw(st.integers(1, 2))):
+        cursor = root
+        for label in draw(
+            st.lists(st.sampled_from(LABELS + [STAR_LABEL]), min_size=1, max_size=3)
+        ):
+            cursor = cursor.add(QueryNode(label))
+        if not cursor.is_wildcard and draw(st.booleans()):
+            cursor.value = draw(st.sampled_from(["x", "y"]))
+    return root
+
+
+def _branches_may_alias(query: QueryNode) -> bool:
+    """Mirror of XmlIndexBase._needs_relaxed_candidates: sibling branches
+    that could bind the same data node (same labels, or wildcards)."""
+    for node in query.preorder():
+        if len(node.children) > 1 and any(c.is_wildcard for c in node.children):
+            return True
+        labels = [c.label for c in node.children if not c.is_wildcard]
+        if len(labels) != len(set(labels)):
+            return True
+    return False
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(docs=st.lists(random_tree(), min_size=1, max_size=10), query=random_branch_query())
+def test_branch_queries_verified_mode_is_exact(docs, query):
+    """Verified mode equals the XPath oracle for arbitrary branch
+    queries; raw matching over-approximates it except in the documented
+    same-label-branch case (where it may also under-approximate)."""
+    encoder = SequenceEncoder()
+    index = VistIndex(SequenceEncoder())
+    expected = set()
+    for i, doc in enumerate(docs):
+        index.add(doc)
+        if verify_document(encoder.encode_node(doc), query, encoder.hasher):
+            expected.add(i)
+    if not _branches_may_alias(query):
+        raw = set(index.query(query))
+        assert expected <= raw  # no false negatives outside the aliasing caveat
+    assert sorted(expected) == index.query(query, verify=True)

@@ -1,0 +1,130 @@
+"""Tests for the hand-written XML parser (including an ElementTree cross-check)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.doc.model import XmlNode
+from repro.doc.parser import from_element_tree, parse_document, parse_fragment
+from repro.errors import XmlParseError
+
+
+class TestBasicParsing:
+    def test_empty_element(self):
+        node = parse_fragment("<a/>")
+        assert node.label == "a"
+        assert not node.children
+        assert node.text is None
+
+    def test_nested_elements(self):
+        node = parse_fragment("<a><b><c/></b><d/></a>")
+        assert [c.label for c in node.children] == ["b", "d"]
+        assert node.children[0].children[0].label == "c"
+
+    def test_attributes(self):
+        node = parse_fragment('<item id="7" loc=\'US\'/>')
+        assert node.attributes == {"id": "7", "loc": "US"}
+
+    def test_text_content(self):
+        node = parse_fragment("<name>  dell  </name>")
+        assert node.text == "dell"
+
+    def test_mixed_content_concatenates(self):
+        node = parse_fragment("<p>one<b/>two</p>")
+        assert node.text == "one two"
+        assert node.children[0].label == "b"
+
+    def test_entities(self):
+        node = parse_fragment("<a x='&quot;q&quot;'>&lt;tag&gt; &amp; &#65;&#x42;</a>")
+        assert node.text == "<tag> & AB"
+        assert node.attributes["x"] == '"q"'
+
+    def test_cdata(self):
+        node = parse_fragment("<a><![CDATA[<raw> & stuff]]></a>")
+        assert node.text == "<raw> & stuff"
+
+    def test_comments_and_pis_skipped(self):
+        node = parse_fragment("<a><!-- note --><?pi data?><b/></a>")
+        assert [c.label for c in node.children] == ["b"]
+
+    def test_prologue(self):
+        doc = parse_document(
+            '<?xml version="1.0"?>\n<!DOCTYPE purchases [ <!ELEMENT a (b)> ]>\n'
+            "<!-- header -->\n<purchases/>"
+        )
+        assert doc.root.label == "purchases"
+
+    def test_whitespace_in_tags(self):
+        node = parse_fragment('<a  x = "1" ></a >')
+        assert node.attributes == {"x": "1"}
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "plain text",
+            "<a>",
+            "<a></b>",
+            "<a x=1/>",
+            "<a x='1' x='2'/>",
+            "<a>&unknown;</a>",
+            "<a/><b/>",
+            "<a><![CDATA[oops</a>",
+            "<!DOCTYPE broken",
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(XmlParseError):
+            parse_fragment(text)
+
+    def test_error_reports_location(self):
+        with pytest.raises(XmlParseError, match=r"line 2"):
+            parse_fragment("<a>\n</b>")
+
+
+class TestRoundTripAndCrossCheck:
+    def build_tree(self) -> XmlNode:
+        root = XmlNode("site")
+        item = root.element("item", id="i1")
+        item.element("location", text="US")
+        item.element("name", text="Fast & <Cheap>")
+        person = root.element("person", id="p1")
+        person.element("city", text="Pocatello")
+        return root
+
+    def test_roundtrip_through_to_xml(self):
+        original = self.build_tree()
+        assert parse_fragment(original.to_xml()) == original
+
+    def test_agrees_with_element_tree(self):
+        text = self.build_tree().to_xml()
+        ours = parse_fragment(text)
+        theirs = from_element_tree(ET.fromstring(text))
+        assert ours == theirs
+
+    @given(
+        labels=st.lists(
+            st.text(alphabet="abcdef", min_size=1, max_size=4), min_size=1, max_size=8
+        ),
+        values=st.lists(st.text(alphabet="xyz <&>'\"0", max_size=6), min_size=1, max_size=8),
+    )
+    def test_property_roundtrip(self, labels, values):
+        root = XmlNode("root")
+        cursor = root
+        for label, value in zip(labels, values):
+            stripped = " ".join(value.split())
+            cursor = cursor.element(label, text=stripped or None, attr=value)
+        reparsed = parse_fragment(root.to_xml())
+        ours = root
+        # attribute values survive exactly; text survives modulo whitespace policy
+        while ours.children or reparsed.children:
+            assert reparsed.label == ours.label
+            assert reparsed.attributes == ours.attributes
+            assert (reparsed.text or "") == (ours.text or "")
+            if not ours.children:
+                break
+            ours, reparsed = ours.children[0], reparsed.children[0]

@@ -1,0 +1,121 @@
+"""Tests for node-granularity query results (query_nodes / find_result_nodes)."""
+
+import pytest
+
+from repro.doc.model import XmlNode
+from repro.index.verification import find_result_nodes
+from repro.index.vist import VistIndex
+from repro.query.xpath import parse_xpath
+from repro.sequence.transform import SequenceEncoder
+
+
+def positions(doc: XmlNode, expr: str) -> list[int]:
+    encoder = SequenceEncoder()
+    return find_result_nodes(
+        encoder.encode_node(doc), parse_xpath(expr), encoder.hasher
+    )
+
+
+def labelled_positions(doc: XmlNode, expr: str) -> list:
+    encoder = SequenceEncoder()
+    seq = encoder.encode_node(doc)
+    return [seq[p].symbol for p in positions(doc, expr)]
+
+
+def sample() -> XmlNode:
+    """r -> a(b, c[text=x]), a(c), d   (preorder: r a b c x a c d)"""
+    r = XmlNode("r")
+    a1 = r.element("a")
+    a1.element("b")
+    a1.element("c", text="x")
+    a2 = r.element("a")
+    a2.element("c")
+    r.element("d")
+    return r
+
+
+class TestResultNodeSelection:
+    def test_main_chain_vs_predicate(self):
+        root = parse_xpath("/r/a[b]/c")
+        assert root.result_node().label == "c"
+        pred = parse_xpath("/r/a[b]")
+        assert pred.result_node().label == "a"
+
+    def test_simple_path_returns_leaf_step(self):
+        # /r/a/b: the single b node
+        assert labelled_positions(sample(), "/r/a/b") == ["b"]
+
+    def test_multiple_bindings(self):
+        # /r/a/c: both c elements
+        assert labelled_positions(sample(), "/r/a/c") == ["c", "c"]
+
+    def test_predicate_filters_bindings(self):
+        # /r/a[b]/c: only the c under the first a
+        got = positions(sample(), "/r/a[b]/c")
+        assert len(got) == 1
+        assert labelled_positions(sample(), "/r/a[b]/c") == ["c"]
+
+    def test_result_is_the_predicated_step_itself(self):
+        # /r/a[c='x']: the first a
+        got = labelled_positions(sample(), "/r/a[c='x']")
+        assert got == ["a"]
+        assert positions(sample(), "/r/a[c='x']") == [1]
+
+    def test_value_predicate_on_result(self):
+        assert labelled_positions(sample(), "/r/a/c[text='x']") == ["c"]
+
+    def test_star_step(self):
+        got = labelled_positions(sample(), "/r/*")
+        assert got == ["a", "a", "d"]
+
+    def test_dslash_step(self):
+        got = labelled_positions(sample(), "/r//c")
+        assert len(got) == 2
+
+    def test_leading_dslash(self):
+        got = labelled_positions(sample(), "//b")
+        assert got == ["b"]
+
+    def test_no_match_is_empty(self):
+        assert positions(sample(), "/r/zzz") == []
+        assert positions(sample(), "/q") == []
+
+    def test_root_only(self):
+        assert positions(sample(), "/r") == [0]
+
+    def test_positions_are_preorder_indices(self):
+        encoder = SequenceEncoder()
+        seq = encoder.encode_node(sample())
+        got = positions(sample(), "/r/a/b")
+        assert [seq[p].symbol for p in got] == ["b"]
+
+
+class TestQueryNodesApi:
+    def test_per_document_positions(self):
+        index = VistIndex(SequenceEncoder())
+        with_c = sample()
+        without = XmlNode("r")
+        without.element("d")
+        a = index.add(with_c)
+        index.add(without)
+        result = index.query_nodes("/r/a/c")
+        assert set(result) == {a}
+        assert len(result[a]) == 2
+
+    def test_exact_under_ambiguous_branches(self):
+        index = VistIndex(SequenceEncoder())
+        one_b = XmlNode("A")
+        b = one_b.element("B")
+        b.element("C")
+        b.element("D")
+        doc_id = index.add(one_b)
+        result = index.query_nodes("/A[B/C]/B/D")
+        # exact semantics: the single B satisfies both branches; result
+        # node D is position 3 in preorder (A B C D)
+        assert result == {doc_id: [3]}
+
+    def test_accepts_query_tree(self):
+        index = VistIndex(SequenceEncoder())
+        doc_id = index.add(sample())
+        tree = parse_xpath("/r/a/b")
+        assert index.query_nodes(tree) == {doc_id: [2]}

@@ -1,0 +1,141 @@
+"""Tests for range/inequality value predicates (extension beyond the paper).
+
+Hashes cannot answer `[year>'1999']`, so these predicates route through
+source-based verification: the index keeps raw XML in a ``source_store``,
+re-encodes candidates with a :class:`CapturingHasher`, and the verifier
+compares actual strings (numeric-aware).
+"""
+
+import pytest
+
+from repro.baselines.apex import ApexIndex
+from repro.baselines.nodeindex import XissIndex
+from repro.baselines.pathindex import PathIndex
+from repro.doc.model import XmlNode
+from repro.errors import IndexStateError, QueryError, QueryParseError
+from repro.index.naive import NaiveIndex
+from repro.index.rist import RistIndex
+from repro.index.verification import _compare, query_needs_raw_values
+from repro.index.vist import VistIndex
+from repro.query.ast import QueryNode
+from repro.query.xpath import parse_xpath
+from repro.sequence.transform import SequenceEncoder
+from repro.storage.docstore import MemoryDocStore
+
+ALL_KINDS = [NaiveIndex, RistIndex, VistIndex, PathIndex, XissIndex, ApexIndex]
+
+
+def book(year: str, price: str) -> XmlNode:
+    root = XmlNode("book")
+    root.element("year", text=year)
+    root.element("price", text=price)
+    return root
+
+
+class TestParsing:
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    def test_ops_parse(self, op):
+        root = parse_xpath(f"/book/year[text(){op}'1999']")
+        year = root.children[0]
+        assert year.op == op
+        assert year.value == "1999"
+
+    def test_branch_inequality(self):
+        root = parse_xpath("/book[year>'1999']/price")
+        year = root.children[0]
+        assert year.op == ">"
+        assert year.predicate
+
+    def test_to_xpath_roundtrip(self):
+        root = parse_xpath("/book[year>='1999']")
+        assert parse_xpath(root.to_xpath()) == root
+
+    def test_invalid_op_rejected_in_ast(self):
+        with pytest.raises(QueryError):
+            QueryNode("a", value="x", op="~")
+
+    def test_needs_raw_detection(self):
+        assert query_needs_raw_values(parse_xpath("/a[b>'1']"))
+        assert not query_needs_raw_values(parse_xpath("/a[b='1']"))
+
+
+class TestCompare:
+    def test_numeric_when_both_numeric(self):
+        assert _compare("10", ">", "9")  # numeric, not lexicographic
+        assert not _compare("10", "<", "9")
+        assert _compare("9.5", "<=", "9.50")
+
+    def test_string_fallback(self):
+        assert _compare("banana", ">", "apple")
+        assert _compare("a", "!=", "b")
+
+    def test_equality_both_modes(self):
+        assert _compare("007", "=", "7")  # numeric equality
+        assert _compare("x", "=", "x")
+        assert not _compare("x", "=", "y")
+
+
+@pytest.fixture(params=ALL_KINDS, ids=lambda c: c.__name__)
+def library(request):
+    index = request.param(SequenceEncoder(), source_store=MemoryDocStore())
+    ids = {
+        "old": index.add(book("1988", "10.00")),
+        "mid": index.add(book("1999", "25.00")),
+        "new": index.add(book("2003", "25.00")),
+    }
+    return index, ids
+
+
+class TestRangeQueries:
+    def test_greater_than(self, library):
+        index, ids = library
+        assert index.query("/book[year>'1999']") == [ids["new"]]
+
+    def test_greater_equal(self, library):
+        index, ids = library
+        got = index.query("/book[year>='1999']")
+        assert got == sorted([ids["mid"], ids["new"]])
+
+    def test_less_than(self, library):
+        index, ids = library
+        assert index.query("/book[year<'1999']") == [ids["old"]]
+
+    def test_not_equal(self, library):
+        index, ids = library
+        got = index.query("/book[year!='1999']")
+        assert got == sorted([ids["old"], ids["new"]])
+
+    def test_combined_with_equality(self, library):
+        index, ids = library
+        got = index.query("/book[year>'1990'][price='25.00']")
+        assert got == sorted([ids["mid"], ids["new"]])
+
+    def test_numeric_comparison_of_prices(self, library):
+        index, ids = library
+        got = index.query("/book[price<'11']")
+        assert got == [ids["old"]]  # 10.00 < 11 numerically, not "1..." < "11"
+
+    def test_on_result_step(self, library):
+        index, ids = library
+        got = index.query("/book/year[text()>='2000']")
+        assert got == [ids["new"]]
+
+    def test_query_nodes_with_ranges(self, library):
+        index, ids = library
+        result = index.query_nodes("/book/year[text()>'1990']")
+        assert set(result) == {ids["mid"], ids["new"]}
+        for positions in result.values():
+            assert len(positions) == 1
+
+
+class TestWithoutSourceStore:
+    def test_range_query_raises_helpfully(self):
+        index = VistIndex(SequenceEncoder())
+        index.add(book("1999", "5.00"))
+        with pytest.raises(IndexStateError, match="source_store"):
+            index.query("/book[year>'1990']")
+
+    def test_equality_still_fine(self):
+        index = VistIndex(SequenceEncoder())
+        doc_id = index.add(book("1999", "5.00"))
+        assert index.query("/book[year='1999']") == [doc_id]

@@ -1,0 +1,240 @@
+"""Tests for structure-encoded sequences: the paper's Figure 4 example,
+item key ordering, payload codecs, and transform properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.doc.model import XmlNode
+from repro.doc.schema import ChildSpec, Occurs, Schema
+from repro.errors import CodecError
+from repro.sequence.encoding import (
+    Item,
+    StructureEncodedSequence,
+    item_key,
+    item_key_prefix,
+)
+from repro.sequence.transform import SequenceEncoder
+from repro.sequence.vocabulary import ValueHasher, fnv1a_64
+
+
+def figure3_tree() -> XmlNode:
+    """The single purchase record of paper Figure 3 (one-letter labels)."""
+    p = XmlNode("P")
+    s = p.element("S")
+    s.element("N", text="dell")
+    i1 = s.element("I")
+    i1.element("M", text="ibm")
+    i1.element("N", text="part#1")
+    i2 = i1.element("I")
+    i2.element("M", text="part#2")
+    s.element("I").element("N", text="intel")
+    s.element("L", text="boston")
+    b = p.element("B")
+    b.element("L", text="newyork")
+    b.element("N", text="panasia")
+    return p
+
+
+def figure3_schema() -> Schema:
+    """Sibling order matching the drawing in paper Figure 3."""
+    schema = Schema("P")
+    schema.element("P", [ChildSpec("S"), ChildSpec("B")])
+    schema.element("S", [ChildSpec("N"), ChildSpec("I", Occurs.MANY), ChildSpec("L")])
+    schema.element("B", [ChildSpec("L"), ChildSpec("N")])
+    schema.element("I", [ChildSpec("M"), ChildSpec("N"), ChildSpec("I", Occurs.MANY)])
+    return schema
+
+
+class TestValueHasher:
+    def test_deterministic(self):
+        h = ValueHasher()
+        assert h("boston") == h("boston")
+        assert h("boston") == h(" boston ")  # whitespace-insensitive
+
+    def test_distinct_values_differ(self):
+        h = ValueHasher()
+        assert h("boston") != h("newyork")
+
+    def test_buckets(self):
+        h = ValueHasher(buckets=10)
+        assert 0 <= h("anything") < 10
+
+    def test_bucket_validation(self):
+        with pytest.raises(CodecError):
+            ValueHasher(buckets=0)
+
+    def test_fnv_known_vector(self):
+        # FNV-1a 64 of empty input is the offset basis.
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+
+
+class TestFigure4:
+    """The headline example: Figure 3's record encodes to Figure 4's D."""
+
+    def test_exact_sequence(self):
+        encoder = SequenceEncoder(schema=figure3_schema())
+        h = encoder.hasher
+        got = encoder.encode_node(figure3_tree())
+        expected = [
+            ("P", ()),
+            ("S", ("P",)),
+            ("N", ("P", "S")),
+            (h("dell"), ("P", "S", "N")),
+            ("I", ("P", "S")),
+            ("M", ("P", "S", "I")),
+            (h("ibm"), ("P", "S", "I", "M")),
+            ("N", ("P", "S", "I")),
+            (h("part#1"), ("P", "S", "I", "N")),
+            ("I", ("P", "S", "I")),
+            ("M", ("P", "S", "I", "I")),
+            (h("part#2"), ("P", "S", "I", "I", "M")),
+            ("I", ("P", "S")),
+            ("N", ("P", "S", "I")),
+            (h("intel"), ("P", "S", "I", "N")),
+            ("L", ("P", "S")),
+            (h("boston"), ("P", "S", "L")),
+            ("B", ("P",)),
+            ("L", ("P", "B")),
+            (h("newyork"), ("P", "B", "L")),
+            ("N", ("P", "B")),
+            (h("panasia"), ("P", "B", "N")),
+        ]
+        assert [(i.symbol, i.prefix) for i in got] == expected
+
+    def test_lexicographic_fallback_order(self):
+        # Without a schema, B sorts before S under P.
+        encoder = SequenceEncoder()
+        got = encoder.encode_node(figure3_tree())
+        labels = [i.symbol for i in got if not i.is_value]
+        assert labels[0] == "P"
+        assert labels[1] == "B"  # Buyer precedes Seller lexicographically
+
+    def test_value_follows_its_node(self):
+        encoder = SequenceEncoder(schema=figure3_schema())
+        got = list(encoder.encode_node(figure3_tree()))
+        for i, item in enumerate(got):
+            if item.is_value:
+                prev = got[i - 1]
+                # a value's prefix ends with the label it belongs to
+                assert item.prefix[-1] == prev.symbol or got[i - 1].is_value
+
+
+class TestItemProperties:
+    def test_depth_and_is_value(self):
+        item = Item("S", ("P",))
+        assert item.depth == 1
+        assert not item.is_value
+        assert Item(42, ("P", "S")).is_value
+
+    def test_items_hashable_and_frozen(self):
+        a = Item("S", ("P",))
+        b = Item("S", ("P",))
+        assert a == b
+        assert len({a, b}) == 1
+        with pytest.raises(Exception):
+            a.symbol = "X"
+
+
+class TestItemKeys:
+    def test_order_symbol_then_length_then_content(self):
+        """Section 3.3: keys ordered by symbol, then prefix length, then content."""
+        keys = [
+            item_key(Item("L", ("P",))),
+            item_key(Item("L", ("P", "B"))),
+            item_key(Item("L", ("P", "S"))),
+            item_key(Item("L", ("P", "B", "X"))),
+        ]
+        assert keys == sorted(keys)
+        # length dominates content: ("P","B","X") sorts after ("P","S")
+        assert item_key(Item("L", ("P", "S"))) < item_key(Item("L", ("P", "B", "X")))
+
+    def test_wildcard_range_covers_one_open_label(self):
+        """(L, P*) == all keys with symbol L, prefix length 2, starting P."""
+        lo = item_key_prefix("L", 2, ("P",))
+        ps = item_key(Item("L", ("P", "S")))
+        pb = item_key(Item("L", ("P", "B")))
+        other_len = item_key(Item("L", ("P",)))
+        assert ps.startswith(lo[: len(lo) - 0]) or lo < ps
+        assert lo <= pb and lo <= ps
+        assert not other_len.startswith(item_key_prefix("L", 2))
+        assert pb.startswith(item_key_prefix("L", 2))
+        assert ps.startswith(item_key_prefix("L", 2, ("P",)))
+
+    def test_value_symbols_use_int_slot(self):
+        k1 = item_key(Item(123, ("P", "S")))
+        k2 = item_key(Item(124, ("P", "S")))
+        assert k1 < k2
+
+
+class TestSequenceCodec:
+    def test_roundtrip_figure4(self):
+        encoder = SequenceEncoder(schema=figure3_schema())
+        seq = encoder.encode_node(figure3_tree())
+        assert StructureEncodedSequence.from_bytes(seq.to_bytes()) == seq
+
+    def test_empty_roundtrip(self):
+        seq = StructureEncodedSequence([])
+        assert StructureEncodedSequence.from_bytes(seq.to_bytes()) == seq
+
+    def test_rejects_trailing_garbage(self):
+        seq = StructureEncodedSequence([Item("a", ())])
+        with pytest.raises(CodecError):
+            StructureEncodedSequence.from_bytes(seq.to_bytes() + b"x")
+
+    def test_rejects_bad_depth(self):
+        # depth 5 with an empty stack is not a valid preorder
+        bad = b"\x01" + b"\x00" + b"a\x00\x00" + b"\x01\x05"
+        with pytest.raises(CodecError):
+            StructureEncodedSequence.from_bytes(bad)
+
+    def test_immutability(self):
+        seq = StructureEncodedSequence([Item("a", ())])
+        with pytest.raises(AttributeError):
+            seq.items = ()
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abcd"), st.booleans(), st.integers(0, 99)),
+            max_size=20,
+        )
+    )
+    def test_property_roundtrip_random_trees(self, spec):
+        """Random trees encode and re-decode identically."""
+        root = XmlNode("r")
+        nodes = [root]
+        for label, as_value, seed in spec:
+            parent = nodes[seed % len(nodes)]
+            if as_value:
+                parent.text = (parent.text or "") + label
+            else:
+                nodes.append(parent.element(label))
+        seq = SequenceEncoder().encode_node(root)
+        assert StructureEncodedSequence.from_bytes(seq.to_bytes()) == seq
+
+
+class TestTransformInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abcd"), st.integers(0, 99)), max_size=25
+        )
+    )
+    def test_preorder_prefix_invariant(self, spec):
+        """Every item's prefix equals the label path of its ancestors."""
+        root = XmlNode("r")
+        nodes = [root]
+        for label, seed in spec:
+            nodes.append(nodes[seed % len(nodes)].element(label))
+        seq = SequenceEncoder().encode_node(root)
+        stack: list[str] = []
+        for item in seq:
+            assert len(item.prefix) <= len(stack) or item.prefix == tuple(stack)
+            del stack[len(item.prefix) :]
+            assert item.prefix == tuple(stack)
+            if not item.is_value:
+                stack.append(item.symbol)
+
+    def test_sequence_length_equals_expanded_size(self):
+        tree = figure3_tree()
+        seq = SequenceEncoder().encode_node(tree)
+        assert len(seq) == tree.expanded().size()

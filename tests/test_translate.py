@@ -1,0 +1,171 @@
+"""Tests for query translation — reproduces paper Table 2 exactly."""
+
+import pytest
+
+from repro.doc.schema import ChildSpec, Occurs, Schema
+from repro.errors import TranslationError
+from repro.query.ast import Dslash, QueryNode, Star
+from repro.query.translate import QueryTranslator
+from repro.query.xpath import parse_xpath
+from repro.sequence.transform import SequenceEncoder
+
+
+def table2_schema() -> Schema:
+    """One-letter schema matching the paper's running example."""
+    schema = Schema("P")
+    schema.element("P", [ChildSpec("S"), ChildSpec("B")])
+    schema.element("S", [ChildSpec("N"), ChildSpec("I", Occurs.MANY), ChildSpec("L")])
+    schema.element("B", [ChildSpec("L"), ChildSpec("N")])
+    schema.element("I", [ChildSpec("M"), ChildSpec("N"), ChildSpec("I", Occurs.MANY)])
+    return schema
+
+
+@pytest.fixture
+def translator():
+    return QueryTranslator(SequenceEncoder(schema=table2_schema()))
+
+
+def shapes(seq):
+    """(symbol, prefix-shape) pairs where wildcards render as '*' / '//'."""
+    out = []
+    for item in seq:
+        prefix = tuple(
+            "*" if isinstance(t, Star) else "//" if isinstance(t, Dslash) else t
+            for t in item.prefix
+        )
+        out.append((item.symbol, prefix))
+    return out
+
+
+class TestTable2:
+    def test_q1_single_path(self, translator):
+        (seq,) = translator.translate(parse_xpath("/P/S/I/M"))
+        assert shapes(seq) == [
+            ("P", ()),
+            ("S", ("P",)),
+            ("I", ("P", "S")),
+            ("M", ("P", "S", "I")),
+        ]
+
+    def test_q2_branching(self, translator):
+        h = translator.encoder.hasher
+        (seq,) = translator.translate(
+            parse_xpath("/P[S[L='boston']]/B[L='newyork']")
+        )
+        assert shapes(seq) == [
+            ("P", ()),
+            ("S", ("P",)),
+            ("L", ("P", "S")),
+            (h("boston"), ("P", "S", "L")),
+            ("B", ("P",)),
+            ("L", ("P", "B")),
+            (h("newyork"), ("P", "B", "L")),
+        ]
+
+    def test_q3_star(self, translator):
+        h = translator.encoder.hasher
+        (seq,) = translator.translate(parse_xpath("/P/*[L='boston']"))
+        assert shapes(seq) == [
+            ("P", ()),
+            ("L", ("P", "*")),
+            (h("boston"), ("P", "*", "L")),
+        ]
+
+    def test_q4_dslash(self, translator):
+        h = translator.encoder.hasher
+        (seq,) = translator.translate(parse_xpath("/P//I[M='part#1']"))
+        assert shapes(seq) == [
+            ("P", ()),
+            ("I", ("P", "//")),
+            ("M", ("P", "//", "I")),
+            (h("part#1"), ("P", "//", "I", "M")),
+        ]
+
+    def test_wildcard_tokens_share_identity(self, translator):
+        (seq,) = translator.translate(parse_xpath("/P/*[L='boston']"))
+        star_of_l = seq[1].prefix[1]
+        star_of_value = seq[2].prefix[1]
+        assert isinstance(star_of_l, Star)
+        assert star_of_l == star_of_value  # same wildcard node => same wid
+
+
+class TestQ5Permutations:
+    def test_same_label_branches_expand(self, translator):
+        seqs = translator.translate(parse_xpath("/A[B/C]/B/D"))
+        assert len(seqs) == 2
+        rendered = {tuple(shapes(s)) for s in seqs}
+        assert (
+            ("A", ()),
+            ("B", ("A",)),
+            ("C", ("A", "B")),
+            ("B", ("A",)),
+            ("D", ("A", "B")),
+        ) in rendered
+        assert (
+            ("A", ()),
+            ("B", ("A",)),
+            ("D", ("A", "B")),
+            ("B", ("A",)),
+            ("C", ("A", "B")),
+        ) in rendered
+
+    def test_identical_branches_dedupe(self, translator):
+        seqs = translator.translate(parse_xpath("/A[B/C]/B/C"))
+        assert len(seqs) == 1
+
+    def test_three_way_permutation(self, translator):
+        seqs = translator.translate(parse_xpath("/A[B/C][B/D]/B/E"))
+        assert len(seqs) == 6
+
+    def test_alternative_cap(self):
+        t = QueryTranslator(SequenceEncoder(), max_alternatives=2)
+        with pytest.raises(TranslationError):
+            t.translate(parse_xpath("/A[B/C][B/D]/B/E"))
+
+    def test_cap_validation(self):
+        with pytest.raises(TranslationError):
+            QueryTranslator(max_alternatives=0)
+
+
+class TestWildcardBranchPlacement:
+    def test_q8_style_wildcard_branch_floats(self, translator):
+        """A wildcard branch may fall before or after concrete siblings."""
+        seqs = translator.translate(parse_xpath("/c[*[p='x']]/d"))
+        assert len(seqs) == 2
+        orders = set()
+        for seq in seqs:
+            labels = [s for s, _ in shapes(seq)]
+            orders.add(tuple(str(l) for l in labels[1:2]))
+        # one alternative emits p-under-* first, the other emits d first
+        first_symbols = {shapes(seq)[1][0] for seq in seqs}
+        assert first_symbols == {"p", "d"}
+
+    def test_wildcard_value_predicate_emits_placeholder_item(self, translator):
+        h = translator.encoder.hasher
+        q = QueryNode("a")
+        q.add(QueryNode("*", value="x"))
+        (seq,) = translator.translate(q)
+        assert shapes(seq) == [("a", ()), (h("x"), ("a", "*"))]
+
+
+class TestSiblingOrderConsistency:
+    def test_branches_follow_schema_order(self, translator):
+        """Branch order in the query matches the data transform's order."""
+        (seq,) = translator.translate(parse_xpath("/P[B]/S"))
+        labels = [s for s, _ in shapes(seq)]
+        assert labels == ["P", "S", "B"]  # schema: S before B
+
+    def test_lexicographic_without_schema(self):
+        t = QueryTranslator(SequenceEncoder())
+        (seq,) = t.translate(parse_xpath("/r[z]/a"))
+        labels = [item.symbol for item in seq]
+        assert labels == ["r", "a", "z"]
+
+    def test_min_prefix_len(self, translator):
+        (seq,) = translator.translate(parse_xpath("/P//I"))
+        item = seq[1]
+        assert item.min_prefix_len == 1  # 'P' counts, '//' may be empty
+        assert not item.is_exact_len
+        (seq2,) = translator.translate(parse_xpath("/P/*/L"))
+        assert seq2[1].min_prefix_len == 2
+        assert seq2[1].is_exact_len

@@ -1,0 +1,116 @@
+"""Tests for the sequence trie and its static (RIST) labelling."""
+
+from repro.index.trie import SequenceTrie
+from repro.sequence.encoding import Item, StructureEncodedSequence
+
+
+def seq(*pairs):
+    return StructureEncodedSequence([Item(sym, tuple(prefix)) for sym, prefix in pairs])
+
+
+def figure5_doc1():
+    """Doc1 of paper Figure 5."""
+    return seq(
+        ("P", ()),
+        ("S", ("P",)),
+        ("N", ("P", "S")),
+        (101, ("P", "S", "N")),  # v1
+        ("L", ("P", "S")),
+        (102, ("P", "S", "L")),  # v2
+    )
+
+
+def figure5_doc2():
+    """Doc2 of paper Figure 5."""
+    return seq(
+        ("P", ()),
+        ("B", ("P",)),
+        ("L", ("P", "B")),
+        (102, ("P", "B", "L")),  # v2
+    )
+
+
+class TestInsertion:
+    def test_shared_prefix(self):
+        trie = SequenceTrie()
+        trie.insert(figure5_doc1(), 1)
+        trie.insert(figure5_doc2(), 2)
+        # Figure 5's tree has 9 nodes (root excluded => 9 labelled nodes
+        # below the root: P,S,N,v1,L,v2 and B,L,v2).
+        assert trie.node_count == 9
+        # (P,) is shared: the root has exactly one child
+        assert len(trie.root.children) == 1
+
+    def test_doc_ids_attach_at_final_node(self):
+        trie = SequenceTrie()
+        end1 = trie.insert(figure5_doc1(), 1)
+        end2 = trie.insert(figure5_doc2(), 2)
+        assert end1.doc_ids == [1]
+        assert end2.doc_ids == [2]
+        assert end1 is not end2
+
+    def test_same_sequence_shares_all_nodes(self):
+        trie = SequenceTrie()
+        end1 = trie.insert(figure5_doc1(), 1)
+        end2 = trie.insert(figure5_doc1(), 2)
+        assert end1 is end2
+        assert end1.doc_ids == [1, 2]
+        assert trie.node_count == 6
+
+    def test_max_depth_tracking(self):
+        trie = SequenceTrie()
+        trie.insert(figure5_doc1(), 1)
+        assert trie.max_depth == 3  # (v1, PSN)
+
+
+class TestStaticLabels:
+    def test_figure5_labels(self):
+        """Reproduce the <n, size> labels of paper Figure 5 exactly."""
+        trie = SequenceTrie()
+        trie.insert(figure5_doc1(), 1)
+        trie.insert(figure5_doc2(), 2)
+        total = trie.assign_static_labels()
+        assert total == 10  # 9 nodes + root
+        labels = {}
+        for node in trie.nodes():
+            key = (node.item.symbol, node.item.prefix)
+            labels[key] = (node.scope.n, node.scope.size)
+        assert labels[("P", ())] == (1, 8)
+        assert labels[("S", ("P",))] == (2, 4)
+        assert labels[("N", ("P", "S"))] == (3, 3)
+        assert labels[(101, ("P", "S", "N"))] == (4, 2)
+        assert labels[("L", ("P", "S"))] == (5, 1)
+        assert labels[(102, ("P", "S", "L"))] == (6, 0)
+        assert labels[("B", ("P",))] == (7, 2)
+        assert labels[("L", ("P", "B"))] == (8, 1)
+        assert labels[(102, ("P", "B", "L"))] == (9, 0)
+
+    def test_root_scope_covers_everything(self):
+        trie = SequenceTrie()
+        trie.insert(figure5_doc1(), 1)
+        trie.insert(figure5_doc2(), 2)
+        trie.assign_static_labels()
+        root = trie.root.scope
+        for node in trie.nodes():
+            assert root.covers(node.scope)
+
+    def test_descendant_scopes_nest(self):
+        trie = SequenceTrie()
+        trie.insert(figure5_doc1(), 1)
+        trie.insert(figure5_doc2(), 2)
+        trie.assign_static_labels()
+
+        def check(node):
+            for child in node.children.values():
+                assert node.scope.covers(child.scope)
+                check(child)
+
+        check(trie.root)
+
+    def test_preorder_numbering_is_dense(self):
+        trie = SequenceTrie()
+        trie.insert(figure5_doc1(), 1)
+        trie.insert(figure5_doc2(), 2)
+        trie.assign_static_labels()
+        ids = sorted(node.scope.n for node in trie.nodes())
+        assert ids == list(range(1, 10))

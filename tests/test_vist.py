@@ -1,0 +1,289 @@
+"""ViST-specific tests: dynamic insertion, deletion, underflow, persistence."""
+
+import pytest
+
+from repro.doc.model import XmlNode
+from repro.errors import IndexStateError, ScopeUnderflowError
+from repro.index.rist import RistIndex
+from repro.index.store import ROOT_KEY
+from repro.index.vist import VistIndex
+from repro.labeling.dynamic import LambdaAllocator, NodeState
+from repro.sequence.transform import SequenceEncoder
+from repro.storage.docstore import FileDocStore
+from repro.storage.pager import FilePager
+from tests.conftest import build_figure3_record, build_purchase_schema, build_record
+
+
+def make_index(**kwargs) -> VistIndex:
+    return VistIndex(SequenceEncoder(schema=build_purchase_schema()), **kwargs)
+
+
+class TestDynamicInsertion:
+    def test_insert_then_query_interleaved(self):
+        index = make_index()
+        a = index.add(build_record("boston", "newyork", ["intel"]))
+        assert index.query("/P[S[L='boston']]") == [a]
+        b = index.add(build_record("boston", "austin", ["amd"]))
+        got = index.query("/P[S[L='boston']]")
+        assert got == sorted([a, b])
+
+    def test_rist_rejects_insert_after_query(self):
+        index = RistIndex(SequenceEncoder(schema=build_purchase_schema()))
+        index.add(build_record("boston", "newyork", ["intel"]))
+        index.query("/P")
+        with pytest.raises(IndexStateError):
+            index.add(build_record("boston", "austin", ["amd"]))
+
+    def test_shared_nodes_have_refcounts(self):
+        index = make_index()
+        index.add(build_record("boston", "newyork", ["intel"]))
+        index.add(build_record("boston", "newyork", ["amd"]))
+        root_state = NodeState.from_bytes(0, index.tree.get(ROOT_KEY))
+        assert root_state.refs == 0  # root is not refcounted
+        # the (P, ()) node is shared by both documents
+        from repro.index.store import decode_node_key
+
+        p_entries = [
+            (decode_node_key(k), v)
+            for k, v in index.tree.items()
+            if k != ROOT_KEY and decode_node_key(k)[0] == "P"
+        ]
+        assert len(p_entries) == 1
+        (_, _, n), value = p_entries[0]
+        assert NodeState.from_bytes(n, value).refs == 2
+
+    def test_empty_sequence_rejected(self):
+        from repro.sequence.encoding import StructureEncodedSequence
+
+        index = make_index()
+        with pytest.raises(IndexStateError):
+            index.add_sequence(StructureEncodedSequence([]))
+
+    def test_labels_unique_without_refcounting(self):
+        """Regression: with track_refs=False, parents whose allocation
+        cursors advance must still be written back, or later insertions
+        reuse the same scopes and labels collide across nodes."""
+        from repro.index.store import ROOT_KEY, decode_node_key
+
+        index = make_index(track_refs=False)
+        for loc in ["boston", "austin", "dallas", "miami"]:
+            index.add(build_record(loc, "newyork", ["intel", "amd"]))
+            index.add(build_figure3_record())
+        labels = [
+            decode_node_key(key)[2]
+            for key, _ in index.tree.items()
+            if key != ROOT_KEY and decode_node_key(key)[2] != 0
+        ]
+        assert len(labels) == len(set(labels))
+
+    def test_query_results_match_naive_without_refcounting(self):
+        from repro.index.naive import NaiveIndex
+        from repro.sequence.transform import SequenceEncoder as SE
+
+        vist = make_index(track_refs=False)
+        naive = NaiveIndex(SE(schema=build_purchase_schema()))
+        for loc in ["boston", "austin", "boston", "dallas"]:
+            record = build_record(loc, "newyork", ["intel"])
+            vist.add(record)
+            naive.add(record)
+        for expr in ["/P[S[L='boston']]", "/P//I[M='intel']", "/P/*[L='newyork']"]:
+            assert vist.query(expr) == naive.query(expr)
+
+    def test_insertion_order_does_not_change_results(self):
+        docs = [
+            build_record("boston", "newyork", ["intel", "amd"]),
+            build_record("austin", "boston", []),
+            build_figure3_record(),
+            build_record("newyork", "newyork", ["ibm"]),
+        ]
+        queries = ["/P[S[L='boston']]", "/P//I[M='intel']", "/P/*[L='newyork']"]
+
+        def results(order):
+            index = make_index()
+            names = {}
+            for i in order:
+                names[index.add(docs[i])] = i
+            return [
+                sorted(names[d] for d in index.query(q)) for q in queries
+            ]
+
+        assert results([0, 1, 2, 3]) == results([3, 2, 1, 0]) == results([2, 0, 3, 1])
+
+
+class TestSelfTuningStats:
+    def test_stats_accumulate_from_sequences(self):
+        index = VistIndex(SequenceEncoder())
+        index.add(build_figure3_record())
+        assert index.stats is not None
+        assert index.stats.documents == 1
+        assert index.stats.expected_fanout("S") > 1.0
+        assert index.stats.distinct_values("L") >= 1
+
+    def test_stats_match_document_observation(self):
+        from repro.doc.model import XmlDocument
+        from repro.doc.stats import CorpusStats
+
+        doc = build_figure3_record()
+        by_doc = CorpusStats()
+        by_doc.observe(XmlDocument(doc))
+        by_seq = CorpusStats()
+        by_seq.observe_sequence(SequenceEncoder().encode_node(doc))
+        for label in ["P", "S", "B", "I"]:
+            assert by_seq.expected_fanout(label) == pytest.approx(
+                by_doc.expected_fanout(label)
+            )
+        assert by_seq.nodes == by_doc.nodes
+
+    def test_stats_drive_lambda_without_schema(self):
+        index = VistIndex(SequenceEncoder())  # no schema => stats-driven λ
+        assert index.allocator.stats is index.stats
+
+    def test_stats_can_be_disabled(self):
+        index = VistIndex(SequenceEncoder(), collect_stats=False)
+        index.add(build_figure3_record())
+        assert index.stats is None
+
+
+class TestDeletion:
+    def test_remove_hides_document(self):
+        index = make_index()
+        a = index.add(build_record("boston", "newyork", ["intel"]))
+        b = index.add(build_record("boston", "austin", ["intel"]))
+        index.remove(a)
+        assert index.query("/P//I[M='intel']") == [b]
+        assert len(index) == 1
+
+    def test_remove_reclaims_unshared_entries(self):
+        from repro.index.store import META_MAX_DEPTH_KEY
+
+        index = make_index()
+        a = index.add(build_record("boston", "newyork", ["intel"]))
+        index.remove(a)
+        # only the root state and the max-depth metadata survive
+        remaining = {k for k, _ in index.tree.items()}
+        assert remaining == {ROOT_KEY, META_MAX_DEPTH_KEY}
+        assert len(index.docid_tree) == 0
+
+    def test_remove_keeps_shared_entries(self):
+        index = make_index()
+        a = index.add(build_record("boston", "newyork", ["intel"]))
+        b = index.add(build_record("boston", "newyork", ["intel"]))
+        index.remove(a)
+        assert index.query("/P[S[L='boston']]") == [b]
+
+    def test_reinsert_after_remove(self):
+        index = make_index()
+        a = index.add(build_record("boston", "newyork", ["intel"]))
+        index.remove(a)
+        c = index.add(build_record("boston", "newyork", ["intel"]))
+        assert index.query("/P[S[L='boston']]") == [c]
+
+    def test_remove_requires_refcounts(self):
+        index = make_index(track_refs=False)
+        a = index.add(build_record("boston", "newyork", ["intel"]))
+        with pytest.raises(IndexStateError):
+            index.remove(a)
+
+    def test_remove_unknown_doc(self):
+        index = make_index()
+        with pytest.raises(Exception):
+            index.remove(12345)
+
+
+class TestScopeUnderflow:
+    def chain_doc(self, depth: int) -> XmlNode:
+        root = XmlNode("c0")
+        node = root
+        for i in range(1, depth):
+            node = node.element(f"c{i}")
+        node.text = "leaf"
+        return root
+
+    def test_deep_chain_triggers_borrowing(self):
+        # a tiny root scope forces underflow quickly
+        index = VistIndex(
+            SequenceEncoder(),
+            allocator=LambdaAllocator(lam=2, reserve_divisor=2),
+            max_label=1 << 24,
+        )
+        doc_id = index.add(self.chain_doc(24))
+        assert index.underflow_count >= 1
+        assert index.query("/c0/c1/c2") == [doc_id]
+        deep_path = "/" + "/".join(f"c{i}" for i in range(24))
+        assert index.query(deep_path) == [doc_id]
+
+    def test_borrowed_nodes_not_shared(self):
+        index = VistIndex(
+            SequenceEncoder(),
+            allocator=LambdaAllocator(lam=2, reserve_divisor=2),
+            max_label=1 << 24,
+        )
+        a = index.add(self.chain_doc(24))
+        b = index.add(self.chain_doc(24))  # identical structure
+        assert index.underflow_count >= 2
+        deep_path = "/" + "/".join(f"c{i}" for i in range(24))
+        assert index.query(deep_path) == sorted([a, b])
+
+    def test_borrowed_docs_can_be_removed(self):
+        index = VistIndex(
+            SequenceEncoder(),
+            allocator=LambdaAllocator(lam=2, reserve_divisor=2),
+            max_label=1 << 24,
+        )
+        a = index.add(self.chain_doc(24))
+        b = index.add(self.chain_doc(20))
+        index.remove(a)
+        assert index.query("/c0/c1") == [b]
+
+    def test_total_exhaustion_raises(self):
+        index = VistIndex(
+            SequenceEncoder(),
+            allocator=LambdaAllocator(lam=2, reserve_divisor=2),
+            max_label=64,
+        )
+        with pytest.raises(ScopeUnderflowError):
+            for i in range(200):
+                index.add(self.chain_doc(12))
+
+    def test_no_underflow_with_roomy_scope(self):
+        index = make_index()
+        for loc in ["boston", "austin", "dallas"]:
+            index.add(build_record(loc, "newyork", ["intel", "amd"]))
+        assert index.underflow_count == 0
+
+
+class TestPersistence:
+    def test_reopen_from_disk(self, tmp_path):
+        pager_path = tmp_path / "vist.db"
+        docs_path = tmp_path / "docs.dat"
+        encoder = SequenceEncoder(schema=build_purchase_schema())
+
+        index = VistIndex(
+            encoder,
+            docstore=FileDocStore(docs_path),
+            pager=FilePager(pager_path),
+        )
+        a = index.add(build_record("boston", "newyork", ["intel"]))
+        index.flush()
+        index.close()
+        index.docstore.close()
+
+        reopened = VistIndex(
+            encoder,
+            docstore=FileDocStore(docs_path),
+            pager=FilePager(pager_path),
+        )
+        assert reopened.query("/P[S[L='boston']]") == [a]
+        # dynamic insertion continues across sessions
+        b = reopened.add(build_record("boston", "austin", ["amd"]))
+        assert reopened.query("/P[S[L='boston']]") == sorted([a, b])
+        reopened.close()
+        reopened.docstore.close()
+
+    def test_index_stats_shape(self):
+        index = make_index()
+        for loc in ["boston", "austin"]:
+            index.add(build_record(loc, "newyork", ["intel"]))
+        stats = index.index_stats()
+        assert stats["combined"].entries > 10
+        assert stats["docid"].entries == 2

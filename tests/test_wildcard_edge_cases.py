@@ -1,0 +1,90 @@
+"""Edge-case wildcard semantics pinned explicitly.
+
+A childless wildcard step carries an existence constraint the sequence
+encoding cannot express (translation discards the wildcard node), so
+`query()` verifies such queries automatically — on every index type.
+"""
+
+import pytest
+
+from repro.doc.model import XmlNode
+from repro.index.naive import NaiveIndex
+from repro.index.rist import RistIndex
+from repro.index.vist import VistIndex
+from repro.baselines.nodeindex import XissIndex
+from repro.baselines.pathindex import PathIndex
+from repro.sequence.transform import SequenceEncoder
+
+ALL_KINDS = [NaiveIndex, RistIndex, VistIndex, PathIndex, XissIndex]
+
+
+def leafy() -> XmlNode:
+    """r -> a (a is a leaf)."""
+    r = XmlNode("r")
+    r.element("a")
+    return r
+
+
+def nested() -> XmlNode:
+    """r -> a -> b."""
+    r = XmlNode("r")
+    r.element("a").element("b")
+    return r
+
+
+@pytest.fixture(params=ALL_KINDS, ids=lambda c: c.__name__)
+def pair_index(request):
+    index = request.param(SequenceEncoder())
+    leaf_id = index.add(leafy())
+    nested_id = index.add(nested())
+    return index, leaf_id, nested_id
+
+
+class TestTrailingWildcards:
+    def test_trailing_star_requires_a_child(self, pair_index):
+        index, leaf_id, nested_id = pair_index
+        assert index.query("/r/a/*") == [nested_id]
+
+    def test_trailing_star_on_root(self, pair_index):
+        index, leaf_id, nested_id = pair_index
+        assert index.query("/r/*") == sorted([leaf_id, nested_id])
+
+    def test_double_trailing_star(self, pair_index):
+        index, leaf_id, nested_id = pair_index
+        # a chain of two wildcard steps: only r -> a -> b reaches depth 2
+        assert index.query("/r/*/*") == [nested_id]
+
+    def test_star_only_query(self, pair_index):
+        index, leaf_id, nested_id = pair_index
+        assert index.query("/*") == sorted([leaf_id, nested_id])
+
+    def test_star_branch_without_children(self, pair_index):
+        index, leaf_id, nested_id = pair_index
+        # [*] predicate: "has at least one element child"
+        assert index.query("/r/a[*]") == [nested_id]
+
+
+class TestWildcardsWithValues:
+    def test_value_under_star(self):
+        index = VistIndex(SequenceEncoder())
+        r = XmlNode("r")
+        r.element("a", text="hit")
+        miss = XmlNode("r")
+        miss.element("b", text="other")
+        hit_id = index.add(r)
+        index.add(miss)
+        assert index.query("/r/*[text='hit']") == [hit_id]
+
+    def test_dslash_value_only(self):
+        index = VistIndex(SequenceEncoder())
+        deep = XmlNode("r")
+        deep.element("x").element("y").element("z", text="needle")
+        deep_id = index.add(deep)
+        index.add(leafy())
+        assert index.query("//z[text='needle']") == [deep_id]
+
+    def test_dslash_matches_root_child(self):
+        """`//` may bind the empty chain: /r//a includes direct children."""
+        index = VistIndex(SequenceEncoder())
+        doc_id = index.add(leafy())
+        assert index.query("/r//a") == [doc_id]

@@ -1,0 +1,185 @@
+"""Tests for the XPath-subset parser (every query of paper Tables 2 & 3)."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.query.ast import DSLASH_LABEL, STAR_LABEL, QueryNode
+from repro.query.xpath import parse_xpath
+
+
+def chain_labels(node: QueryNode) -> list[str]:
+    """Labels along the last-child spine."""
+    out = [node.label]
+    while node.children:
+        node = node.children[-1]
+        out.append(node.label)
+    return out
+
+
+class TestSimplePaths:
+    def test_single_step(self):
+        root = parse_xpath("/purchase")
+        assert root.label == "purchase"
+        assert not root.children
+
+    def test_table3_q1(self):
+        root = parse_xpath("/inproceedings/title")
+        assert chain_labels(root) == ["inproceedings", "title"]
+
+    def test_paper_q1_four_steps(self):
+        root = parse_xpath("/Purchase/Seller/Item/Manufacturer")
+        assert chain_labels(root) == ["Purchase", "Seller", "Item", "Manufacturer"]
+
+    def test_attribute_step(self):
+        root = parse_xpath("/book/@key")
+        assert chain_labels(root) == ["book", "key"]
+
+
+class TestValuePredicates:
+    def test_table3_q2(self):
+        root = parse_xpath("/book/author[text='David']")
+        author = root.children[0]
+        assert author.label == "author"
+        assert author.value == "David"
+
+    def test_text_function_form(self):
+        root = parse_xpath("/book/author[text()='David']")
+        assert root.children[0].value == "David"
+
+    def test_child_equality(self):
+        root = parse_xpath("/book[key='books/bc/MaierW88']/author")
+        key_branch = root.children[0]
+        assert key_branch.label == "key"
+        assert key_branch.value == "books/bc/MaierW88"
+        assert root.children[1].label == "author"
+
+    def test_double_quotes(self):
+        root = parse_xpath('/a[b="x y"]')
+        assert root.children[0].value == "x y"
+
+    def test_element_named_textfield_is_a_branch(self):
+        root = parse_xpath("/a[textfield='v']/b")
+        assert root.children[0].label == "textfield"
+        assert root.children[0].value == "v"
+        assert root.value is None
+
+
+class TestWildcards:
+    def test_table3_q3_star(self):
+        root = parse_xpath("/*/author[text='David']")
+        assert root.label == STAR_LABEL
+        assert root.children[0].label == "author"
+
+    def test_table3_q4_leading_dslash(self):
+        root = parse_xpath("//author[text='David']")
+        assert root.label == DSLASH_LABEL
+        assert root.children[0].label == "author"
+        assert root.children[0].value == "David"
+
+    def test_mid_path_dslash(self):
+        root = parse_xpath("/site//item")
+        assert root.label == "site"
+        assert root.children[0].label == DSLASH_LABEL
+        assert root.children[0].children[0].label == "item"
+
+    def test_paper_q3_star_with_branch(self):
+        root = parse_xpath("/Purchase/*[Loc='boston']")
+        star = root.children[0]
+        assert star.label == STAR_LABEL
+        assert star.children[0].label == "Loc"
+        assert star.children[0].value == "boston"
+
+
+class TestComplexQueries:
+    def test_table3_q6(self):
+        root = parse_xpath(
+            "/site//item[location='US']/mail/date[text='12/15/1999']"
+        )
+        assert root.label == "site"
+        dslash = root.children[0]
+        item = dslash.children[0]
+        assert item.label == "item"
+        assert item.children[0].label == "location"
+        assert item.children[0].value == "US"
+        assert chain_labels(item.children[1]) == ["mail", "date"]
+        assert item.children[1].children[0].value == "12/15/1999"
+
+    def test_table3_q7(self):
+        root = parse_xpath("/site//person/*/city[text='Pocatello']")
+        person = root.children[0].children[0]
+        assert person.label == "person"
+        assert person.children[0].label == STAR_LABEL
+        assert person.children[0].children[0].label == "city"
+
+    def test_table3_q8(self):
+        root = parse_xpath(
+            "//closed_auction[*[person='person1']]/date[text='12/15/1999']"
+        )
+        assert root.label == DSLASH_LABEL
+        auction = root.children[0]
+        assert auction.label == "closed_auction"
+        star = auction.children[0]
+        assert star.label == STAR_LABEL
+        assert star.children[0].label == "person"
+        assert star.children[0].value == "person1"
+        assert auction.children[1].label == "date"
+
+    def test_paper_q2_two_branches(self):
+        root = parse_xpath("/Purchase[Seller[Loc='boston']]/Buyer[Loc='newyork']")
+        seller = root.children[0]
+        buyer = root.children[1]
+        assert seller.label == "Seller"
+        assert seller.children[0].label == "Loc"
+        assert seller.children[0].value == "boston"
+        assert buyer.label == "Buyer"
+        assert buyer.children[0].value == "newyork"
+
+    def test_q5_same_label_branches(self):
+        root = parse_xpath("/A[B/C]/B/D")
+        assert [c.label for c in root.children] == ["B", "B"]
+        assert root.children[0].children[0].label == "C"
+        assert root.children[1].children[0].label == "D"
+
+    def test_nested_predicate_path_equality(self):
+        root = parse_xpath("/a[b/c='v']/d")
+        b = root.children[0]
+        assert b.label == "b"
+        assert b.children[0].label == "c"
+        assert b.children[0].value == "v"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "/inproceedings/title",
+            "/book/author[text()='David']",
+            "/a[b/c]/d",
+            "/site//item",
+        ],
+    )
+    def test_to_xpath_reparses_equal(self, expr):
+        first = parse_xpath(expr)
+        again = parse_xpath(first.to_xpath())
+        assert again == first
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "",
+            "author",  # relative queries must be inside predicates
+            "/a[",
+            "/a[b",
+            "/a[]",
+            "/a[b='unterminated]",
+            "/a/b=",
+            "/a//",
+            "/a[b=v]",  # literal must be quoted
+            "/a/b extra",
+        ],
+    )
+    def test_rejects(self, expr):
+        with pytest.raises(QueryParseError):
+            parse_xpath(expr)
