@@ -23,7 +23,7 @@ to slowest throughout because everything is joins.
 
 import pytest
 
-from repro.bench.harness import Report, build_index
+from repro.bench.harness import Report, build_index, query_cache_enabled
 from repro.bench.workloads import TABLE3_QUERIES
 from repro.datasets.dblp import DblpConfig, DblpGenerator
 from repro.datasets.xmark import XmarkConfig, XmarkGenerator
@@ -42,6 +42,8 @@ REPORT = Report(
 
 _rows: dict[str, dict[str, float]] = {}
 _matches: dict[str, int] = {}
+_match_stats: dict[str, dict] = {}
+_vist_indexes: dict[str, object] = {}
 
 
 @pytest.fixture(scope="module")
@@ -66,6 +68,7 @@ def indexes(corpora):
     for dataset in ("dblp", "xmark"):
         for kind in KINDS:
             out[dataset, kind] = build_index(kind, docs[dataset], schemas[dataset])
+        _vist_indexes[dataset] = out[dataset, "vist"]
     return out
 
 
@@ -74,10 +77,21 @@ def indexes(corpora):
 def test_table4(benchmark, indexes, query, kind):
     index = indexes[query.dataset, kind]
     result = benchmark.pedantic(
-        lambda: index.query(query.xpath), rounds=2, iterations=1
+        lambda: index.query(query.xpath), rounds=3, iterations=1
     )
     _rows.setdefault(query.qid, {})[kind] = benchmark.stats.stats.median
     _matches[query.qid] = len(result)
+    if kind == "vist":
+        stats = index.match_stats
+        _match_stats[query.qid] = {
+            "range_queries": stats.range_queries,
+            "candidates": stats.candidates,
+            "search_states": stats.search_states,
+            "final_nodes": stats.final_nodes,
+            "batched_states": stats.batched_states,
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+        }
     if len(_rows[query.qid]) == len(KINDS):
         row = _rows[query.qid]
         REPORT.add(
@@ -89,3 +103,33 @@ def test_table4(benchmark, indexes, query, kind):
             row["apex"],
             _matches[query.qid],
         )
+
+
+def bench_json_payload():
+    """Machine-readable Table 4 results (written by the conftest teardown)."""
+    if not _rows:
+        return None
+    queries = {
+        qid: {
+            "seconds": timings,
+            "matches": _matches.get(qid),
+            "vist_match_stats": _match_stats.get(qid),
+        }
+        for qid, timings in sorted(_rows.items())
+    }
+    headline = sum(t["vist"] for t in _rows.values() if "vist" in t)
+    payload = {
+        "config": {
+            "n_dblp": N_DBLP,
+            "n_xmark": N_XMARK,
+            "kinds": KINDS,
+            "query_cache": query_cache_enabled(),
+        },
+        "queries": queries,
+        "headline_seconds": headline,
+        "cache_stats": {
+            dataset: index.cache_stats()
+            for dataset, index in sorted(_vist_indexes.items())
+        },
+    }
+    return "table4", payload

@@ -1,0 +1,81 @@
+"""Fail when a benchmark snapshot regresses past a factor of its baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_table4.json BENCH_fig10a.json \
+        [--factor 3.0] [--baseline-ref HEAD]
+
+Each named file is a freshly written ``BENCH_<name>.json`` at the repo
+root (see ``repro.bench.harness.write_bench_json``); the baseline is the
+committed version of the same file (``git show <ref>:<file>``).  The
+comparison is on the ``headline_seconds`` field — the benchmark's single
+wall-clock figure of merit — so CI tolerates runner noise (default 3×)
+while still catching order-of-magnitude regressions.
+
+Exit status: 0 when every benchmark is within the factor (or has no
+baseline yet), 1 on a regression, 2 on usage/IO errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_baseline(name: str, ref: str) -> dict | None:
+    """The committed version of ``name``, or ``None`` when not committed."""
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{name}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="BENCH_*.json files at the repo root")
+    parser.add_argument("--factor", type=float, default=3.0)
+    parser.add_argument("--baseline-ref", default="HEAD")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for name in args.files:
+        current_path = REPO_ROOT / name
+        if not current_path.exists():
+            print(f"error: {name} missing — did the benchmark run?", file=sys.stderr)
+            return 2
+        current = json.loads(current_path.read_text())
+        baseline = load_baseline(name, args.baseline_ref)
+        if baseline is None:
+            print(f"{name}: no committed baseline at {args.baseline_ref}; skipping")
+            continue
+        now = current.get("headline_seconds")
+        then = baseline.get("headline_seconds")
+        if now is None or then is None or then <= 0:
+            print(f"{name}: headline_seconds missing/zero; skipping")
+            continue
+        ratio = now / then
+        verdict = "OK" if ratio <= args.factor else "REGRESSION"
+        print(
+            f"{name}: {then:.4f}s -> {now:.4f}s ({ratio:.2f}x, limit "
+            f"{args.factor:.1f}x) {verdict}"
+        )
+        if ratio > args.factor:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,15 +5,59 @@ corpora are scaled down from the paper's testbed (a 2003 C++/Berkeley DB
 system on a 662 MHz machine) to laptop-Python sizes — DESIGN.md explains
 why the *shapes* survive the substitution even though absolute numbers
 do not.
+
+Two suite-wide options control the query-path performance layer:
+
+``--no-query-cache``
+    build ViST/RIST indexes with the posting cache disabled (the paper's
+    original per-scan access path), so cached and uncached runs of the
+    same benchmark can be compared;
+``--no-bench-json``
+    skip writing the machine-readable ``BENCH_<name>.json`` snapshots at
+    the repo root (modules that define ``bench_json_payload()`` write one
+    per run; CI diffs them against the committed baseline).
 """
+
+import os
 
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--no-query-cache",
+        action="store_true",
+        default=False,
+        help="disable the posting cache in benchmark-built ViST/RIST indexes",
+    )
+    parser.addoption(
+        "--no-bench-json",
+        action="store_true",
+        default=False,
+        help="do not write BENCH_<name>.json snapshots at the repo root",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--no-query-cache"):
+        # build_index reads the env var, so module-scope fixtures built
+        # before any test body see the switch too
+        os.environ["REPRO_QUERY_CACHE"] = "0"
+
+
 @pytest.fixture(scope="module", autouse=True)
 def emit_module_report(request):
-    """Emit the module's ``REPORT`` (if defined) after its benchmarks ran."""
+    """Emit the module's ``REPORT`` and JSON payload after its benchmarks ran."""
     yield
     report = getattr(request.module, "REPORT", None)
     if report is not None and report.rows:
         report.emit()
+    builder = getattr(request.module, "bench_json_payload", None)
+    if builder is not None and not request.config.getoption("--no-bench-json"):
+        from repro.bench.harness import write_bench_json
+
+        result = builder()
+        if result is not None:
+            name, payload = result
+            path = write_bench_json(name, payload)
+            print(f"\nwrote {path}")

@@ -13,6 +13,7 @@ reviewable transcript behind (EXPERIMENTS.md records one such snapshot).
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import dataclass, field
@@ -29,9 +30,13 @@ from repro.sequence.transform import SequenceEncoder
 __all__ = [
     "INDEX_KINDS",
     "build_index",
+    "query_cache_enabled",
     "time_call",
     "time_queries",
     "Report",
+    "bench_json_path",
+    "write_bench_json",
+    "read_bench_json",
 ]
 
 INDEX_KINDS = ("vist", "rist", "naive", "path", "xiss", "apex")
@@ -45,18 +50,36 @@ _FACTORIES = {
     "apex": ApexIndex,
 }
 
+#: Environment switch for the query-path caches: set ``REPRO_QUERY_CACHE=0``
+#: (or pass ``--no-query-cache`` to the benchmark suite) to build ViST/RIST
+#: indexes with the posting cache disabled, i.e. the paper's original
+#: per-scan access path.  Lets the same benchmark run in both modes.
+_CACHE_ENV = "REPRO_QUERY_CACHE"
+_DEFAULT_POSTING_CACHE = 512
+
+
+def query_cache_enabled() -> bool:
+    """Whether benchmark-built indexes use the posting cache."""
+    return os.environ.get(_CACHE_ENV, "1") != "0"
+
 
 def build_index(kind: str, documents: Iterable, schema=None, **kwargs):
     """Build an index of the given kind over ``documents``.
 
     ``kind`` is one of :data:`INDEX_KINDS`.  ViST/RIST default to
     refcount-free ingestion here (benchmarks measure the paper's
-    configuration; deletion benchmarks opt back in).
+    configuration; deletion benchmarks opt back in) and honour the
+    ``REPRO_QUERY_CACHE`` switch for the posting cache.
     """
     encoder = SequenceEncoder(schema=schema)
     factory = _FACTORIES[kind]
     if kind == "vist":
         kwargs.setdefault("track_refs", False)
+    if kind in ("vist", "rist"):
+        kwargs.setdefault(
+            "posting_cache_size",
+            _DEFAULT_POSTING_CACHE if query_cache_enabled() else 0,
+        )
     index = factory(encoder, **kwargs)
     for doc in documents:
         index.add(doc)
@@ -143,3 +166,43 @@ def _fmt(value) -> str:
     if isinstance(value, float):
         return f"{value:.4f}"
     return str(value)
+
+
+# ----------------------------------------------------------------------
+# machine-readable results (perf trajectory across PRs)
+
+
+def _repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+
+
+def bench_json_path(name: str, directory: Optional[str] = None) -> str:
+    """Path of the ``BENCH_<name>.json`` snapshot (repo root by default)."""
+    return os.path.join(directory or _repo_root(), f"BENCH_{name}.json")
+
+
+def write_bench_json(name: str, payload: dict, directory: Optional[str] = None) -> str:
+    """Persist one benchmark's machine-readable results.
+
+    ``payload`` carries per-query timings, MatchStats, and cache stats;
+    a ``headline_seconds`` key is what the CI smoke job compares across
+    commits (``benchmarks/check_regression.py``).  The file lands at the
+    repo root as ``BENCH_<name>.json`` so the perf trajectory is tracked
+    in version control PR over PR.
+    """
+    path = bench_json_path(name, directory)
+    doc = {"experiment": name, "query_cache": query_cache_enabled(), **payload}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def read_bench_json(name: str, directory: Optional[str] = None) -> Optional[dict]:
+    """Load a benchmark snapshot, or ``None`` if it was never written."""
+    path = bench_json_path(name, directory)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

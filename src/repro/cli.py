@@ -29,6 +29,7 @@ from repro.doc.split import split_records
 from repro.errors import ReproError
 from repro.index.vist import VistIndex
 from repro.sequence.transform import SequenceEncoder
+from repro.storage.cache import BufferPool
 from repro.storage.docstore import FileDocStore
 from repro.storage.pager import FilePager
 
@@ -73,6 +74,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_query.add_argument(
         "--show-xml", action="store_true", help="print each matching record's XML"
     )
+    p_query.add_argument(
+        "--profile",
+        action="store_true",
+        help="print match effort and cache hit rates after the query",
+    )
     p_query.set_defaults(handler=_cmd_query)
 
     p_nodes = sub.add_parser("nodes", help="node-granularity query results")
@@ -102,7 +108,9 @@ def _open_index(dbdir: Path, schema_path: Optional[Path] = None) -> VistIndex:
     return VistIndex(
         SequenceEncoder(schema=schema),
         docstore=FileDocStore(dbdir / "docs.dat"),
-        pager=FilePager(dbdir / "vist.db"),
+        # write-back LRU pool in front of the page file: repeated index
+        # traversals in one invocation hit memory, not disk
+        pager=BufferPool(FilePager(dbdir / "vist.db"), capacity=512),
         source_store=FileDocStore(dbdir / "sources.dat"),
     )
 
@@ -153,9 +161,43 @@ def _cmd_query(args: argparse.Namespace) -> int:
             for doc_id in result:
                 print(f"-- doc {doc_id} --")
                 print(index.get_document(doc_id).to_xml())
+        if args.profile:
+            stats = index.match_stats
+            print(
+                f"match effort: {stats.range_queries} range queries, "
+                f"{stats.candidates} candidates, {stats.search_states} states, "
+                f"{stats.batched_states} batched"
+            )
+            _print_cache_stats(index)
     finally:
         _close_index(index)
     return 0
+
+
+def _print_cache_stats(index: VistIndex) -> None:
+    """Render :meth:`CombinedTreeHost.cache_stats` as CLI lines."""
+    caches = index.cache_stats()
+    postings = caches.get("postings")
+    if postings is not None:
+        print(
+            f"posting cache: {postings['hits']} hits / {postings['misses']} misses "
+            f"({postings['hit_rate']:.1%}), {postings['groups']} group(s) resident, "
+            f"{postings['invalidations']} invalidation(s)"
+        )
+    else:
+        print("posting cache: disabled")
+    for name, descent in caches["descent"].items():
+        print(
+            f"descent cache [{name}]: {descent['hits']} hits / "
+            f"{descent['misses']} misses ({descent['hit_rate']:.1%})"
+        )
+    pool = caches.get("buffer_pool")
+    if pool is not None:
+        print(
+            f"buffer pool: {pool['hits']} hits / {pool['misses']} misses "
+            f"({pool['hit_rate']:.1%}), {pool['evictions']} eviction(s), "
+            f"{pool['writebacks']} writeback(s)"
+        )
 
 
 def _cmd_nodes(args: argparse.Namespace) -> int:
@@ -197,6 +239,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 f"{name}: {stats.entries} entries, {stats.total_pages} pages "
                 f"({stats.total_bytes / 1024:.0f} KiB), height {stats.height}"
             )
+        _print_cache_stats(index)
     finally:
         _close_index(index)
     return 0

@@ -23,8 +23,9 @@ how entries were labelled, which the host index hides behind
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Protocol
+from typing import Iterable, Iterator, Optional, Protocol
 
+from repro.index.postings import PostingGroup
 from repro.labeling.scope import Scope
 from repro.query.ast import Dslash, PrefixToken, QueryItem, QuerySequence, Star
 from repro.sequence.encoding import Prefix
@@ -44,22 +45,36 @@ __all__ = [
 class MatchStats:
     """Index-traversal effort of the most recent match.
 
-    ``range_queries`` counts D/S-Ancestor range scans issued (the paper's
-    "index traversals"); ``candidates`` counts nodes those scans yielded;
-    ``search_states`` counts distinct ``(item, scope)`` positions the
-    recursion visited; ``final_nodes`` is the size of the answer frontier.
+    ``range_queries`` counts D/S-Ancestor lookups issued (the paper's
+    "index traversals" — one per search state and prefix length, whether
+    or not the batching layer had to touch the index for it);
+    ``candidates`` counts nodes those lookups yielded; ``search_states``
+    counts distinct ``(item, scope)`` positions visited; ``final_nodes``
+    is the size of the answer frontier.
+
+    The query-path performance layer adds three counters:
+    ``batched_states`` — lookups served from a group another state at the
+    same frontier level already fetched; ``cache_hits``/``cache_misses``
+    — posting-cache traffic of this match (zero when the host has no
+    posting cache).
     """
 
     range_queries: int = 0
     candidates: int = 0
     search_states: int = 0
     final_nodes: int = 0
+    batched_states: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def reset(self) -> None:
         self.range_queries = 0
         self.candidates = 0
         self.search_states = 0
         self.final_nodes = 0
+        self.batched_states = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
 
 def _bind(bindings: Bindings, wid: int, labels: tuple[str, ...]) -> Bindings:
@@ -175,11 +190,24 @@ class MatchingHost(Protocol):
         """Document ids attached in the closed range ``[n, n + size]``."""
 
 
-class SequenceMatcher:
-    """Algorithm 2, parameterised by a :class:`MatchingHost`."""
+GroupMemo = dict[tuple, PostingGroup]
 
-    def __init__(self, host: MatchingHost) -> None:
+
+class SequenceMatcher:
+    """Algorithm 2, parameterised by a :class:`MatchingHost`.
+
+    By default the walk is a *batched level-by-level frontier*: all live
+    states at one query position are expanded together, and states that
+    resolve to the same D-Ancestor key ``(symbol, prefix_len, leading)``
+    share a single posting fetch per level (turning O(states × scans)
+    into O(distinct keys) index traversals).  ``batched=False`` keeps the
+    original depth-first recursion — same answers, used as the reference
+    implementation in equivalence tests.
+    """
+
+    def __init__(self, host: MatchingHost, *, batched: bool = True) -> None:
         self.host = host
+        self.batched = batched
         self.stats = MatchStats()  # effort of the most recent match
 
     def match(self, query: QuerySequence) -> set[int]:
@@ -198,6 +226,54 @@ class SequenceMatcher:
         B+Tree").  ``match`` unions the DocId ranges of these scopes.
         """
         self.stats.reset()
+        postings = getattr(self.host, "postings", None)
+        before = (
+            (postings.stats.hits, postings.stats.misses)
+            if postings is not None
+            else None
+        )
+        if self.batched:
+            finals = self._final_scopes_batched(query)
+        else:
+            finals = self._final_scopes_recursive(query)
+        if before is not None:
+            self.stats.cache_hits = postings.stats.hits - before[0]
+            self.stats.cache_misses = postings.stats.misses - before[1]
+        self.stats.final_nodes = len(finals)
+        return finals
+
+    def _final_scopes_batched(self, query: QuerySequence) -> list[Scope]:
+        """Level-by-level frontier expansion with shared posting fetches."""
+        items = query.items
+        max_len = self.host.max_prefix_len()
+        frontier: list[tuple[Scope, Bindings]] = [(self.host.root_scope(), ())]
+        for qi in items:
+            groups: GroupMemo = {}
+            next_frontier: list[tuple[Scope, Bindings]] = []
+            seen: set[tuple[int, Bindings]] = set()
+            for scope, bindings in frontier:
+                self.stats.search_states += 1
+                for child, new_bindings in self._candidates(
+                    qi, scope, bindings, max_len, groups
+                ):
+                    self.stats.candidates += 1
+                    state = (child.n, new_bindings)
+                    if state not in seen:
+                        seen.add(state)
+                        next_frontier.append((child, new_bindings))
+            frontier = next_frontier
+            if not frontier:
+                break
+        finals: list[Scope] = []
+        seen_finals: set[int] = set()
+        for scope, _ in frontier:
+            if scope.n not in seen_finals:
+                seen_finals.add(scope.n)
+                finals.append(scope)
+        return finals
+
+    def _final_scopes_recursive(self, query: QuerySequence) -> list[Scope]:
+        """The paper's depth-first recursion (reference implementation)."""
         finals: list[Scope] = []
         seen_finals: set[int] = set()
         visited: set[tuple[int, int, Bindings]] = set()
@@ -221,21 +297,23 @@ class SequenceMatcher:
                 search(child_scope, i + 1, new_bindings)
 
         search(self.host.root_scope(), 0, ())
-        self.stats.final_nodes = len(finals)
         return finals
 
     # -- candidate generation ---------------------------------------------
 
     def _candidates(
-        self, qi: QueryItem, scope: Scope, bindings: Bindings, max_len: int
+        self,
+        qi: QueryItem,
+        scope: Scope,
+        bindings: Bindings,
+        max_len: int,
+        groups: Optional[GroupMemo] = None,
     ) -> Iterator[tuple[Scope, Bindings]]:
         leading, tail = resolve_pattern(qi.prefix, bindings)
         if not tail:
             # fully concrete prefix: a single D-Ancestor key, scope range
             self.stats.range_queries += 1
-            for _, child in self.host.iter_candidates(
-                qi.symbol, len(leading), leading, scope
-            ):
+            for _, child in self._lookup(qi.symbol, len(leading), leading, scope, groups):
                 yield child, bindings
             return
         min_extra = sum(1 for t in tail if isinstance(t, (str, Star)))
@@ -245,10 +323,43 @@ class SequenceMatcher:
             lengths = range(len(leading) + min_extra, max_len + 1)
         for plen in lengths:
             self.stats.range_queries += 1
-            for data_prefix, child in self.host.iter_candidates(
-                qi.symbol, plen, leading, scope
+            for data_prefix, child in self._lookup(
+                qi.symbol, plen, leading, scope, groups
             ):
                 for new_bindings in match_prefix_pattern(
                     tail, data_prefix[len(leading) :], bindings
                 ):
                     yield child, new_bindings
+
+    def _lookup(
+        self,
+        symbol,
+        prefix_len: int,
+        leading: tuple[str, ...],
+        scope: Scope,
+        groups: Optional[GroupMemo],
+    ) -> Iterable[tuple[Prefix, Scope]]:
+        """One D/S-Ancestor lookup, batched through the level memo."""
+        if groups is None:
+            return self.host.iter_candidates(symbol, prefix_len, leading, scope)
+        key = (symbol, prefix_len, leading)
+        group = groups.get(key)
+        if group is None:
+            groups[key] = group = self._fetch_group(symbol, prefix_len, leading)
+        else:
+            self.stats.batched_states += 1
+        return group.select(scope)
+
+    def _fetch_group(
+        self, symbol, prefix_len: int, leading: tuple[str, ...]
+    ) -> PostingGroup:
+        fetch = getattr(self.host, "fetch_postings", None)
+        if fetch is not None:
+            return fetch(symbol, prefix_len, leading)
+        # Host implements only the narrow protocol: collect the group by
+        # scanning under the root scope (every data node lies inside it).
+        return PostingGroup(
+            self.host.iter_candidates(
+                symbol, prefix_len, leading, self.host.root_scope()
+            )
+        )

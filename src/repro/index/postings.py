@@ -1,0 +1,153 @@
+"""Posting cache: memoised D-Ancestor key groups for the query path.
+
+A *posting group* is the full set of combined-tree entries under one
+D-Ancestor scan key ``(symbol, prefix_len, leading)`` — exactly the key
+range :meth:`~repro.index.store.CombinedTreeHost.iter_candidates` scans —
+decoded once and kept sorted by the S-Ancestor label ``n``.  With the
+group resident, a scope-restricted lookup is two :func:`bisect` calls
+over the ``n`` column instead of a root-to-leaf B+Tree descent plus a
+leaf-chain walk, which is the dominant cost of Algorithm 2 on repeated
+query traffic (the same hot ``(symbol, prefix)`` keys are scanned dozens
+of times per branch query and again for every later query).
+
+:class:`PostingCache` is an LRU over such groups.  It is a *lookaside*
+structure: the B+Trees stay byte-identical, the cache is dropped on
+reopen and invalidated (per affected key group) on ``insert``/``remove``.
+Scope labels never change once assigned (Section 3.4: "labels, once
+assigned, stay fixed"), so cached ``(prefix, Scope)`` pairs only go stale
+when an entry is *added to* or *removed from* a group — which is what
+:meth:`PostingCache.invalidate_entry` covers.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable
+
+from repro.labeling.scope import Scope
+from repro.sequence.encoding import Prefix
+
+GroupKey = tuple[Hashable, int, tuple[str, ...]]  # (symbol, prefix_len, leading)
+Posting = tuple[Prefix, Scope]
+
+__all__ = ["PostingGroup", "PostingCacheStats", "PostingCache"]
+
+
+class PostingGroup:
+    """One D-Ancestor key group, sorted by the S-Ancestor label ``n``."""
+
+    __slots__ = ("ns", "entries")
+
+    def __init__(self, postings: Iterable[Posting]) -> None:
+        ordered = sorted(postings, key=lambda posting: posting[1].n)
+        self.entries: list[Posting] = ordered
+        self.ns: list[int] = [scope.n for _, scope in ordered]
+
+    def select(self, within: Scope) -> list[Posting]:
+        """Postings whose ``n`` lies in the S-Ancestor range ``(n, n+size]``."""
+        lo = bisect_left(self.ns, within.n + 1)
+        hi = bisect_right(self.ns, within.end)
+        return self.entries[lo:hi]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class PostingCacheStats:
+    """Counters exposed by :attr:`PostingCache.stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from memory (0.0 when never used)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PostingCache:
+    """LRU cache of :class:`PostingGroup` objects keyed by scan key.
+
+    ``capacity`` bounds the number of cached *groups* (one group can hold
+    many postings; the hot working set of a query workload is a small
+    number of distinct keys, so a group-count bound is the right knob).
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError(f"posting cache capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._groups: OrderedDict[GroupKey, PostingGroup] = OrderedDict()
+        # symbol -> cached keys for that symbol, so invalidation does not
+        # scan the whole cache on every insert/remove
+        self._by_symbol: dict[Hashable, set[GroupKey]] = {}
+        self.stats = PostingCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def lookup(
+        self,
+        symbol: Hashable,
+        prefix_len: int,
+        leading: tuple[str, ...],
+        loader: Callable[[], Iterable[Posting]],
+    ) -> PostingGroup:
+        """Return the cached group for the key, loading it on a miss."""
+        key: GroupKey = (symbol, prefix_len, leading)
+        group = self._groups.get(key)
+        if group is not None:
+            self._groups.move_to_end(key)
+            self.stats.hits += 1
+            return group
+        self.stats.misses += 1
+        group = PostingGroup(loader())
+        self._groups[key] = group
+        self._by_symbol.setdefault(symbol, set()).add(key)
+        while len(self._groups) > self._capacity:
+            victim, _ = self._groups.popitem(last=False)
+            self.stats.evictions += 1
+            self._discard_symbol_key(victim)
+        return group
+
+    def invalidate_entry(self, symbol: Hashable, prefix: Prefix) -> None:
+        """Drop every cached group that covers an entry with this prefix.
+
+        An entry ``(symbol, prefix)`` belongs to the groups whose
+        ``prefix_len == len(prefix)`` and whose ``leading`` labels are a
+        prefix of ``prefix`` (the wildcard scans at that length), so only
+        those keys go stale when such an entry appears or disappears.
+        """
+        keys = self._by_symbol.get(symbol)
+        if not keys:
+            return
+        plen = len(prefix)
+        stale = [
+            key
+            for key in keys
+            if key[1] == plen and prefix[: len(key[2])] == key[2]
+        ]
+        for key in stale:
+            self._groups.pop(key, None)
+            keys.discard(key)
+            self.stats.invalidations += 1
+        if not keys:
+            del self._by_symbol[symbol]
+
+    def clear(self) -> None:
+        """Drop every cached group (bulk rebuilds, reopen)."""
+        self._groups.clear()
+        self._by_symbol.clear()
+
+    def _discard_symbol_key(self, key: GroupKey) -> None:
+        keys = self._by_symbol.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_symbol[key[0]]

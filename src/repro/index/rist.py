@@ -22,6 +22,7 @@ from repro.doc.schema import Schema
 from repro.errors import IndexStateError
 from repro.index.base import XmlIndexBase
 from repro.index.matching import SequenceMatcher
+from repro.index.postings import PostingCache
 from repro.index.store import CombinedTreeHost, node_key
 from repro.index.trie import SequenceTrie
 from repro.labeling.scope import Scope
@@ -47,6 +48,7 @@ class RistIndex(XmlIndexBase, CombinedTreeHost):
         *,
         source_store=None,
         max_alternatives: int = 24,
+        posting_cache_size: int = 512,
     ) -> None:
         XmlIndexBase.__init__(
             self, encoder, docstore,
@@ -55,6 +57,8 @@ class RistIndex(XmlIndexBase, CombinedTreeHost):
         self._pager = pager if pager is not None else MemoryPager()
         self.tree = BPlusTree(self._pager, slot=0)
         self.docid_tree = BPlusTree(self._pager, slot=1)
+        self.postings = PostingCache(posting_cache_size) if posting_cache_size else None
+        self._matcher = SequenceMatcher(self)
         self.trie: Optional[SequenceTrie] = SequenceTrie()
         self._root_scope: Optional[Scope] = None
 
@@ -102,6 +106,8 @@ class RistIndex(XmlIndexBase, CombinedTreeHost):
         self.tree.bulk_load(entries)
         self.docid_tree.bulk_load(doc_entries)
         self._bump_max_prefix_len(self.trie.max_depth)
+        if self.postings is not None:
+            self.postings.clear()  # the trees were rebuilt wholesale
 
     def release_trie(self) -> None:
         """Drop the in-memory trie (queries only need the B+Trees).
@@ -117,7 +123,12 @@ class RistIndex(XmlIndexBase, CombinedTreeHost):
 
     def match_sequence(self, query_sequence: QuerySequence) -> set[int]:
         self.finalize()
-        return SequenceMatcher(self).match(query_sequence)
+        return self._matcher.match(query_sequence)
+
+    @property
+    def match_stats(self):
+        """MatchStats of the most recent :meth:`match_sequence` call."""
+        return self._matcher.stats
 
     def root_scope(self) -> Scope:
         if self._root_scope is None:

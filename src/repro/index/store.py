@@ -20,9 +20,11 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Union
 
+from repro.index.postings import PostingCache, PostingGroup
 from repro.labeling.scope import Scope
 from repro.sequence.encoding import Item, Prefix
 from repro.storage.bptree import BPlusTree
+from repro.storage.cache import BufferPool
 from repro.storage.serialization import (
     decode_tuple,
     decode_uint,
@@ -66,10 +68,18 @@ class CombinedTreeHost:
 
     Subclasses (RIST/ViST indexes) own ``self.tree`` (combined) and
     ``self.docid_tree`` and implement :meth:`_scope_of`.
+
+    When ``self.postings`` holds a :class:`PostingCache`, D-Ancestor key
+    groups are decoded once and kept resident, and every lookup becomes
+    two bisects over the cached group (the on-disk layout is untouched;
+    hosts must call :meth:`_invalidate_postings` when entries appear or
+    disappear).  With ``postings = None`` every lookup is a fresh B+Tree
+    range scan — the paper's original access path.
     """
 
     tree: BPlusTree
     docid_tree: BPlusTree
+    postings: Optional[PostingCache] = None
 
     # -- MatchingHost ------------------------------------------------------
 
@@ -97,6 +107,9 @@ class CombinedTreeHost:
         leading: tuple[str, ...],
         within: Scope,
     ) -> Iterator[tuple[Prefix, Scope]]:
+        if self.postings is not None:
+            yield from self.fetch_postings(symbol, prefix_len, leading).select(within)
+            return
         if prefix_len == len(leading):
             # concrete prefix: bound the scan by the S-Ancestor range too
             lo = encode_tuple((symbol, prefix_len, *leading, within.n + 1))
@@ -115,6 +128,72 @@ class CombinedTreeHost:
             scope = self._scope_of(n, value)
             if scope is not None:
                 yield prefix, scope
+
+    def fetch_postings(
+        self, symbol: Symbol, prefix_len: int, leading: tuple[str, ...]
+    ) -> PostingGroup:
+        """The whole D-Ancestor key group, sorted by ``n`` (cached if enabled).
+
+        This is the batched-matching entry point: one fetch serves every
+        scope restriction over the group via :meth:`PostingGroup.select`.
+        """
+        if self.postings is None:
+            return PostingGroup(self._load_postings(symbol, prefix_len, leading))
+        return self.postings.lookup(
+            symbol,
+            prefix_len,
+            leading,
+            lambda: self._load_postings(symbol, prefix_len, leading),
+        )
+
+    def _load_postings(
+        self, symbol: Symbol, prefix_len: int, leading: tuple[str, ...]
+    ) -> Iterator[tuple[Prefix, Scope]]:
+        """Range-scan one D-Ancestor key group out of the combined tree."""
+        scan = encode_tuple((symbol, prefix_len, *leading))
+        for key, value in self.tree.range(scan, prefix_range_end(scan)):
+            _, prefix, n = decode_node_key(key)
+            scope = self._scope_of(n, value)
+            if scope is not None:
+                yield prefix, scope
+
+    def _invalidate_postings(self, symbol: Symbol, prefix: Prefix) -> None:
+        """Drop cached groups covering ``(symbol, prefix)`` entries."""
+        if self.postings is not None:
+            self.postings.invalidate_entry(symbol, prefix)
+
+    def cache_stats(self) -> dict:
+        """Query-path cache counters: postings, B+Tree descents, buffer pool."""
+        out: dict = {}
+        if self.postings is not None:
+            stats = self.postings.stats
+            out["postings"] = {
+                "groups": len(self.postings),
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "invalidations": stats.invalidations,
+                "evictions": stats.evictions,
+                "hit_rate": stats.hit_rate,
+            }
+        out["descent"] = {
+            name: {
+                "hits": tree.descent_hits,
+                "misses": tree.descent_misses,
+                "hit_rate": tree.descent_hit_rate,
+            }
+            for name, tree in (("combined", self.tree), ("docid", self.docid_tree))
+        }
+        pager = self.tree.pager
+        if isinstance(pager, BufferPool):
+            stats = pager.stats
+            out["buffer_pool"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "writebacks": stats.writebacks,
+                "hit_rate": stats.hit_rate,
+            }
+        return out
 
     def iter_doc_ids(self, within: Scope) -> Iterator[int]:
         lo, hi = within.doc_range()

@@ -30,6 +30,7 @@ from repro.errors import IndexStateError, KeyTooLargeError, ScopeUnderflowError
 from repro.doc.stats import CorpusStats
 from repro.index.base import XmlIndexBase
 from repro.index.matching import SequenceMatcher
+from repro.index.postings import PostingCache
 from repro.index.store import ROOT_KEY, CombinedTreeHost, decode_node_key, node_key
 from repro.labeling.clues import FollowSets
 from repro.labeling.dynamic import (
@@ -66,6 +67,7 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
         track_refs: bool = True,
         collect_stats: bool = True,
         max_alternatives: int = 24,
+        posting_cache_size: int = 512,
     ) -> None:
         XmlIndexBase.__init__(
             self, encoder, docstore,
@@ -74,6 +76,10 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
         self._pager = pager if pager is not None else MemoryPager()
         self.tree = BPlusTree(self._pager, slot=0)
         self.docid_tree = BPlusTree(self._pager, slot=1)
+        # Query-path posting cache (0 disables).  It lives in instance
+        # memory only, so reopening from disk always starts cold.
+        self.postings = PostingCache(posting_cache_size) if posting_cache_size else None
+        self._matcher = SequenceMatcher(self)
         # "we collect statistics during data generation for dynamic
         # labeling purposes": with collect_stats the corpus statistics
         # accumulate as documents arrive, and the clue-free allocator
@@ -150,6 +156,13 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
             labels = [state.scope.n for state in path_states[1:]]
         for key, state in pending.values():
             self.tree.put(key, state.to_bytes())
+        if self.postings is not None:
+            # Conservative coherence: every item of the sequence may have
+            # introduced a new node into its D-Ancestor key group (scopes
+            # of pre-existing nodes never change, so updates to them keep
+            # cached groups valid).
+            for item in sequence:
+                self.postings.invalidate_entry(item.symbol, item.prefix)
         doc_id = self.docstore.add(self._make_payload(sequence, labels))
         self._attach_doc(labels[-1], doc_id)
         self._bump_max_prefix_len(max(item.depth for item in sequence))
@@ -288,6 +301,7 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
             if state.refs <= 0:
                 self.tree.delete(key)
                 self._child_cache.pop((state.parent_n, item), None)
+                self._invalidate_postings(item.symbol, item.prefix)
             else:
                 self.tree.put(key, state.to_bytes())
         self.docstore.remove(doc_id)
@@ -297,7 +311,12 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
     # matching
 
     def match_sequence(self, query_sequence: QuerySequence) -> set[int]:
-        return SequenceMatcher(self).match(query_sequence)
+        return self._matcher.match(query_sequence)
+
+    @property
+    def match_stats(self):
+        """MatchStats of the most recent :meth:`match_sequence` call."""
+        return self._matcher.stats
 
     def root_scope(self) -> Scope:
         return self._root_state.scope

@@ -56,7 +56,11 @@ __all__ = ["BPlusTree", "TreeStats"]
 
 @dataclass
 class TreeStats:
-    """Size/shape statistics for one tree (used by the Figure 11 benches)."""
+    """Size/shape statistics for one tree (used by the Figure 11 benches).
+
+    ``descent_hits``/``descent_misses`` count root-to-leaf descents served
+    from (vs missing) the last-descent cache — see :meth:`BPlusTree._seek`.
+    """
 
     entries: int
     height: int
@@ -64,6 +68,8 @@ class TreeStats:
     internal_pages: int
     page_size: int
     used_bytes: int
+    descent_hits: int = 0
+    descent_misses: int = 0
 
     @property
     def total_pages(self) -> int:
@@ -118,6 +124,14 @@ class BPlusTree:
         self._cache: dict[int, _Node] = {}
         self._dirty: set[int] = set()
         self._closed = False
+        # Last-descent cache: (structure version, lo sep, hi sep, leaf pid).
+        # Consecutive seeks over nearby keys — Algorithm 2's dominant
+        # pattern — reuse the leaf when the seek bound still falls between
+        # the separators that routed the previous descent.
+        self._descent: Optional[tuple[int, Optional[Pair], Optional[Pair], int]] = None
+        self._structure_version = 0
+        self.descent_hits = 0
+        self.descent_misses = 0
         root_pid, count = self._load_slot()
         if root_pid == 0:
             root = self._new_leaf()
@@ -333,6 +347,7 @@ class BPlusTree:
             next_level.append((first_pair, node.pid))
             level = next_level
 
+        self._bump_structure_version()
         self._free_node(old_root)
         self._root_pid = level[0][1]
         self._count = count
@@ -366,8 +381,11 @@ class BPlusTree:
 
     def get(self, key: bytes) -> Optional[bytes]:
         """Return the smallest value stored under ``key``, or ``None``."""
-        for _, value in self.range(key, key, include_hi=True):
-            return value
+        self._ensure_open()
+        key = bytes(key)
+        leaf, idx = self._seek(key, True)
+        if leaf is not None and leaf.entries[idx][0] == key:
+            return leaf.entries[idx][1]
         return None
 
     def values(self, key: bytes) -> Iterator[bytes]:
@@ -376,8 +394,16 @@ class BPlusTree:
             yield value
 
     def contains(self, key: bytes) -> bool:
-        """True if at least one entry is stored under ``key``."""
-        return self.get(key) is not None
+        """True if at least one entry is stored under ``key``.
+
+        Stops at the first hit via a single :meth:`_seek` — with duplicate
+        keys this never walks the whole duplicate run the way a full
+        ``get``-style leaf scan would.
+        """
+        self._ensure_open()
+        key = bytes(key)
+        leaf, idx = self._seek(key, True)
+        return leaf is not None and leaf.entries[idx][0] == key
 
     def range(
         self,
@@ -430,12 +456,16 @@ class BPlusTree:
         if value is not None:
             return 1 if self._delete_pair((key, bytes(value))) else 0
         removed = 0
-        # Collect first: mutating while iterating a range scan is unsafe.
-        victims = [pair for pair in self.range(key, key, include_hi=True)]
-        for pair in victims:
-            if self._delete_pair(pair):
-                removed += 1
-        return removed
+        # Re-seek the first surviving entry each round instead of
+        # materialising the whole victim list up front (the run under one
+        # key can be large — DocId trees store one entry per document).
+        while True:
+            leaf, idx = self._seek(key, True)
+            if leaf is None or leaf.entries[idx][0] != key:
+                return removed
+            if not self._delete_pair(leaf.entries[idx]):  # pragma: no cover
+                return removed
+            removed += 1
 
     def first(self) -> Optional[Pair]:
         """Smallest entry, or ``None`` for an empty tree."""
@@ -481,6 +511,8 @@ class BPlusTree:
             internal_pages=internal_pages,
             page_size=self._capacity,
             used_bytes=used,
+            descent_hits=self.descent_hits,
+            descent_misses=self.descent_misses,
         )
 
     def flush(self) -> None:
@@ -555,6 +587,7 @@ class BPlusTree:
         return max(1, len(sizes) - 1)
 
     def _split_leaf(self, node: _Leaf) -> tuple[Pair, int]:
+        self._bump_structure_version()
         sizes = [_LEAF_CELL_OVERHEAD + len(k) + len(v) for k, v in node.entries]
         cut = self._split_point(sizes, _LEAF_HEADER)
         right_entries = node.entries[cut:]
@@ -565,6 +598,7 @@ class BPlusTree:
         return right.entries[0], right.pid
 
     def _split_internal(self, node: _Internal) -> tuple[Pair, int]:
+        self._bump_structure_version()
         sizes = [_INTERNAL_CELL_OVERHEAD + len(k) + len(v) for k, v in node.seps]
         cut = self._split_point(sizes, _INTERNAL_HEADER)
         # The separator at `cut` moves up; children split around it.
@@ -591,9 +625,27 @@ class BPlusTree:
         # `key`, so bisect lands on the leftmost child that may contain it.
         bound = (key, b"")
         node = self._node(self._root_pid)
-        while isinstance(node, _Internal):
-            idx = bisect_right(node.seps, bound)
-            node = self._node(node.children[idx])
+        if isinstance(node, _Internal):
+            leaf = self._cached_descent(bound)
+            if leaf is None:
+                # Walk down, remembering the separators that routed the
+                # descent: any later bound between them lands on the same
+                # leaf, so the interior reads can be skipped wholesale.
+                lo: Optional[Pair] = None
+                hi: Optional[Pair] = None
+                while isinstance(node, _Internal):
+                    idx = bisect_right(node.seps, bound)
+                    if idx > 0:
+                        lo = node.seps[idx - 1]
+                    if idx < len(node.seps):
+                        hi = node.seps[idx]
+                    node = self._node(node.children[idx])
+                assert isinstance(node, _Leaf)
+                self._descent = (self._structure_version, lo, hi, node.pid)
+                self.descent_misses += 1
+            else:
+                self.descent_hits += 1
+                node = leaf
         assert isinstance(node, _Leaf)
         idx = bisect_left(node.entries, bound)
         leaf: Optional[_Leaf] = node
@@ -611,6 +663,30 @@ class BPlusTree:
             idx = 0
         return None, 0
 
+    def _cached_descent(self, bound: Pair) -> Optional[_Leaf]:
+        """Re-validate the last descent: structure unchanged and ``bound``
+        still between the routing separators means the same leaf."""
+        cached = self._descent
+        if cached is None or cached[0] != self._structure_version:
+            return None
+        _, lo, hi, pid = cached
+        if (lo is None or lo <= bound) and (hi is None or bound < hi):
+            node = self._node(pid)
+            if isinstance(node, _Leaf):
+                return node
+        return None
+
+    def _bump_structure_version(self) -> None:
+        """Invalidate the descent cache (any split/merge/entry movement)."""
+        self._structure_version += 1
+        self._descent = None
+
+    @property
+    def descent_hit_rate(self) -> float:
+        """Fraction of seeks that skipped the interior walk."""
+        total = self.descent_hits + self.descent_misses
+        return self.descent_hits / total if total else 0.0
+
     # ------------------------------------------------------------------
     # deletion internals
 
@@ -621,6 +697,7 @@ class BPlusTree:
             root = self._node(self._root_pid)
             if isinstance(root, _Internal) and len(root.children) == 1:
                 child_pid = root.children[0]
+                self._bump_structure_version()
                 self._free_node(root)
                 self._root_pid = child_pid
         return found
@@ -707,6 +784,7 @@ class BPlusTree:
                 parent.seps[idx - 1] = left.seps.pop()
                 moved = True
         if moved:
+            self._bump_structure_version()
             self._touch(left)
             self._touch(child)
             self._touch(parent)
@@ -747,6 +825,7 @@ class BPlusTree:
                 parent.seps[idx] = right.seps.pop(0)
                 moved = True
         if moved:
+            self._bump_structure_version()
             self._touch(right)
             self._touch(child)
             self._touch(parent)
@@ -780,6 +859,7 @@ class BPlusTree:
             raise StorageError("attempted to merge nodes of different kinds")
         del parent.seps[sep_idx]
         del parent.children[sep_idx + 1]
+        self._bump_structure_version()
         self._free_node(right)
         self._touch(left)
         self._touch(parent)

@@ -1,8 +1,20 @@
 """Tests for the benchmark harness and workloads."""
 
+import json
+
 import pytest
 
-from repro.bench.harness import INDEX_KINDS, Report, build_index, time_call, time_queries
+from repro.bench.harness import (
+    INDEX_KINDS,
+    Report,
+    bench_json_path,
+    build_index,
+    query_cache_enabled,
+    read_bench_json,
+    time_call,
+    time_queries,
+    write_bench_json,
+)
 from repro.bench.workloads import TABLE3_QUERIES
 from repro.doc.model import XmlNode
 from repro.query.xpath import parse_xpath
@@ -91,6 +103,39 @@ class TestReport:
         report = Report("e", "t", ["n", "time"], bar_column=1)
         report.add(1, 0.0)
         assert "▌" in report.render()  # min one tick, no division by zero
+
+
+class TestBenchJson:
+    def test_write_and_read_roundtrip(self, tmp_path):
+        path = write_bench_json(
+            "myexp", {"headline_seconds": 1.5, "rows": [1, 2]}, directory=tmp_path
+        )
+        assert path == bench_json_path("myexp", directory=tmp_path)
+        assert path.endswith("BENCH_myexp.json")
+        data = read_bench_json("myexp", directory=tmp_path)
+        assert data["experiment"] == "myexp"
+        assert data["headline_seconds"] == 1.5
+        assert data["rows"] == [1, 2]
+        assert data["query_cache"] is query_cache_enabled()
+
+    def test_written_file_is_stable_json(self, tmp_path):
+        write_bench_json("exp", {"b": 1, "a": 2}, directory=tmp_path)
+        text = (tmp_path / "BENCH_exp.json").read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == json.loads(text)  # valid JSON
+        assert text.index('"a"') < text.index('"b"')  # sorted keys → clean diffs
+
+    def test_query_cache_env_toggle(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUERY_CACHE", raising=False)
+        assert query_cache_enabled() is True
+        monkeypatch.setenv("REPRO_QUERY_CACHE", "0")
+        assert query_cache_enabled() is False
+        index = build_index("vist", tiny_corpus())
+        assert index.postings is None
+
+    def test_build_index_cache_on_by_default(self):
+        index = build_index("vist", tiny_corpus())
+        assert index.postings is not None
 
 
 class TestWorkloads:

@@ -275,6 +275,107 @@ class TestStats:
         assert s.internal_pages == 0
 
 
+class TestDescentCache:
+    """Root-to-leaf descent reuse: the interior path of the last _seek."""
+
+    def filled(self, n=600, page_size=128):
+        t = make_tree(page_size=page_size)
+        for i in range(n):
+            t.insert(key(i), b"v")
+        return t
+
+    def test_sequential_lookups_hit(self):
+        t = self.filled()
+        for i in range(600):
+            assert t.get(key(i)) == b"v"
+        assert t.descent_hits > 0
+        # sequential keys share leaves, so most descents are cache hits
+        assert t.descent_hit_rate > 0.5
+
+    def test_stats_expose_counters(self):
+        t = self.filled()
+        for i in range(50):
+            t.contains(key(i))
+        s = t.stats()
+        assert s.descent_hits == t.descent_hits
+        assert s.descent_misses == t.descent_misses
+        assert s.descent_hits + s.descent_misses > 0
+
+    def test_structural_change_invalidates(self):
+        t = self.filled()
+        t.get(key(10))
+        t.get(key(11))  # warm: same leaf
+        hits = t.descent_hits
+        # enough inserts around the cached leaf to force a split
+        for j in range(40):
+            t.insert(key(10) + f"-{j:03d}".encode(), b"v")
+        assert t.get(key(10)) == b"v"  # must not land on a stale leaf
+        for i in range(600):
+            assert t.get(key(i)) == b"v"
+        assert t.descent_hits >= hits
+
+    def test_correct_across_random_mutations(self):
+        t = make_tree(page_size=128)
+        model = {}
+        rng = random.Random(11)
+        for step in range(1500):
+            i = rng.randrange(200)
+            if i in model and rng.random() < 0.4:
+                assert t.delete(key(i)) == 1
+                del model[i]
+            elif i not in model:
+                t.insert(key(i), str(step).encode())
+                model[i] = str(step).encode()
+            # interleave point lookups that exercise the cached descent
+            probe = rng.randrange(200)
+            assert t.get(key(probe)) == model.get(probe)
+            assert t.contains(key(probe)) == (probe in model)
+        assert t.descent_hits > 0
+
+    def test_single_leaf_tree_never_caches(self):
+        t = make_tree()
+        t.insert(b"a", b"1")
+        assert t.get(b"a") == b"1"
+        assert t.descent_hits == 0 and t.descent_misses == 0
+
+    def test_checkpoint_clear_cache_is_safe(self):
+        t = self.filled()
+        t.get(key(5))
+        t.checkpoint(clear_cache=True)
+        # cached descent stores pids; pages must re-decode after the drop
+        assert t.get(key(5)) == b"v"
+        assert t.get(key(6)) == b"v"
+
+
+class TestFirstHitSeek:
+    """get/contains/delete(key) resolve via one _seek, not a full key scan."""
+
+    def test_get_returns_first_duplicate(self):
+        t = make_tree()
+        t.insert(b"k", b"b")
+        t.insert(b"k", b"a")
+        t.insert(b"k", b"c")
+        assert t.get(b"k") == b"a"  # smallest value: leaf order, not insert order
+
+    def test_contains_on_boundary_keys(self):
+        t = make_tree(page_size=128)
+        for i in range(300):
+            t.insert(key(i), b"v")
+        assert all(t.contains(key(i)) for i in range(300))
+        assert not t.contains(b"k-1")
+        assert not t.contains(key(300))
+
+    def test_delete_key_spanning_leaves(self):
+        t = make_tree(page_size=128)
+        for i in range(50):
+            t.insert(b"dup", f"{i:04d}".encode())
+        t.insert(b"aaa", b"x")
+        t.insert(b"zzz", b"y")
+        assert t.delete(b"dup") == 50
+        assert t.get(b"dup") is None
+        assert [k for k, _ in t.items()] == [b"aaa", b"zzz"]
+
+
 # ---------------------------------------------------------------------------
 # model-based property tests against a sorted reference
 

@@ -1,0 +1,267 @@
+"""Query-path cache coherence: posting cache, batched matching, descent reuse.
+
+The posting cache is a lookaside structure — the B+Trees stay the source
+of truth — so every test here is an equivalence test at heart: the cached
+index must answer exactly like the uncached one under inserts, removals,
+reopen-from-disk, and buffer-pool eviction pressure.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.doc.model import XmlNode
+from repro.index.matching import SequenceMatcher
+from repro.index.postings import PostingCache, PostingGroup
+from repro.index.rist import RistIndex
+from repro.index.vist import VistIndex
+from repro.labeling.scope import Scope
+from repro.query.xpath import parse_xpath
+from repro.sequence.transform import SequenceEncoder
+from repro.storage.cache import BufferPool
+from repro.storage.docstore import FileDocStore
+from repro.storage.pager import FilePager
+from tests.conftest import build_figure3_record, build_purchase_schema, build_record
+
+
+def make_index(**kwargs) -> VistIndex:
+    return VistIndex(SequenceEncoder(schema=build_purchase_schema()), **kwargs)
+
+
+class TestPostingGroup:
+    def test_sorted_by_n_and_select_bisects(self):
+        entries = [((), Scope(n, 0)) for n in [40, 10, 30, 20]]
+        group = PostingGroup(entries)
+        assert group.ns == [10, 20, 30, 40]
+        # S-Ancestor range is (n, n+size]: excludes n itself, includes end
+        assert [s.n for _, s in group.select(Scope(10, 20))] == [20, 30]
+        assert [s.n for _, s in group.select(Scope(0, 100))] == [10, 20, 30, 40]
+        assert group.select(Scope(40, 100)) == []
+        assert len(group) == 4
+
+    def test_select_boundary_inclusive_end(self):
+        group = PostingGroup([((), Scope(5, 0)), ((), Scope(8, 0))])
+        assert [s.n for _, s in group.select(Scope(4, 4))] == [5, 8]
+        assert [s.n for _, s in group.select(Scope(5, 3))] == [8]
+
+
+class TestPostingCache:
+    def test_hit_miss_counters(self):
+        cache = PostingCache(capacity=4)
+        loader = lambda: [((), Scope(1, 0))]
+        g1 = cache.lookup("A", 0, (), loader)
+        g2 = cache.lookup("A", 0, (), loader)
+        assert g1 is g2
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        cache = PostingCache(capacity=2)
+        for sym in "ABC":
+            cache.lookup(sym, 0, (), lambda: [])
+        cache.lookup("B", 0, (), lambda: [])
+        cache.lookup("C", 0, (), lambda: [])
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # A was evicted: looking it up again is a miss
+        misses = cache.stats.misses
+        cache.lookup("A", 0, (), lambda: [])
+        assert cache.stats.misses == misses + 1
+
+    def test_invalidate_entry_matches_wildcard_groups(self):
+        cache = PostingCache(capacity=8)
+        # concrete key, a covering wildcard key, and two unrelated keys
+        cache.lookup("A", 2, ("P", "S"), lambda: [])
+        cache.lookup("A", 2, ("P",), lambda: [])
+        cache.lookup("A", 2, ("P", "B"), lambda: [])  # different leading
+        cache.lookup("A", 3, ("P", "S"), lambda: [])  # different prefix_len
+        cache.invalidate_entry("A", ("P", "S"))
+        assert len(cache) == 2
+        assert cache.stats.invalidations == 2
+        hits = cache.stats.hits
+        cache.lookup("A", 2, ("P", "B"), lambda: [])
+        cache.lookup("A", 3, ("P", "S"), lambda: [])
+        assert cache.stats.hits == hits + 2  # the unrelated keys survived
+
+    def test_invalidate_unknown_symbol_is_noop(self):
+        cache = PostingCache(capacity=2)
+        cache.invalidate_entry("Z", ("P",))
+        assert cache.stats.invalidations == 0
+
+    def test_clear(self):
+        cache = PostingCache(capacity=4)
+        cache.lookup("A", 0, (), lambda: [])
+        cache.clear()
+        assert len(cache) == 0
+        misses = cache.stats.misses
+        cache.lookup("A", 0, (), lambda: [])
+        assert cache.stats.misses == misses + 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PostingCache(capacity=0)
+
+
+QUERIES = [
+    "/P/S/N",
+    "/P[S[L='boston']]",
+    "/P[S[L='boston']][B[L='newyork']]",
+    "/P/S/I/M",
+    "//I//M",
+    "/P//N",
+]
+
+
+def corpus(k: int) -> list[XmlNode]:
+    locs = ["boston", "newyork", "austin", "dallas"]
+    makers = ["intel", "amd", "ibm"]
+    rng = random.Random(k)
+    docs = [build_figure3_record()]
+    for i in range(k):
+        docs.append(
+            build_record(
+                rng.choice(locs),
+                rng.choice(locs),
+                rng.sample(makers, rng.randint(1, 3)),
+            )
+        )
+    return docs
+
+
+class TestVistCoherence:
+    def test_interleaved_insert_query_matches_uncached(self):
+        cached = make_index(posting_cache_size=16)
+        uncached = make_index(posting_cache_size=0)
+        assert cached.postings is not None and uncached.postings is None
+        for doc in corpus(12):
+            cached.add(doc)
+            uncached.add(doc)
+            for q in QUERIES:
+                assert cached.query(q) == uncached.query(q), q
+        assert cached.postings.stats.hits > 0  # the cache actually engaged
+        assert cached.postings.stats.invalidations > 0
+
+    def test_remove_invalidates(self):
+        cached = make_index(posting_cache_size=16)
+        uncached = make_index(posting_cache_size=0)
+        ids = []
+        for doc in corpus(10):
+            ids.append(cached.add(doc))
+            uncached.add(doc)
+        for q in QUERIES:  # warm the cache before removing
+            cached.query(q)
+        rng = random.Random(5)
+        for doc_id in rng.sample(ids, 5):
+            cached.remove(doc_id)
+            uncached.remove(doc_id)
+            for q in QUERIES:
+                assert cached.query(q) == uncached.query(q), q
+
+    def test_reopen_starts_cold_and_correct(self, tmp_path):
+        pager = FilePager(tmp_path / "vist.db")
+        index = make_index(
+            pager=pager, docstore=FileDocStore(tmp_path / "docs.dat")
+        )
+        docs = corpus(8)
+        for doc in docs:
+            index.add(doc)
+        expected = {q: index.query(q) for q in QUERIES}
+        index.flush()
+        index.close()
+        index.docstore.close()
+
+        reopened = make_index(
+            pager=FilePager(tmp_path / "vist.db"),
+            docstore=FileDocStore(tmp_path / "docs.dat"),
+        )
+        assert len(reopened.postings) == 0  # cache never persists
+        for q in QUERIES:
+            assert reopened.query(q) == expected[q], q
+        assert reopened.postings.stats.hits + reopened.postings.stats.misses > 0
+        reopened.close()
+        reopened.docstore.close()
+
+    def test_descent_cache_survives_buffer_pool_eviction(self, tmp_path):
+        # a 4-page pool forces constant eviction under the descent cache;
+        # cached pids must re-decode correctly after their pages cycle out
+        pool = BufferPool(FilePager(tmp_path / "vist.db"), capacity=4)
+        index = make_index(
+            pager=pool, docstore=FileDocStore(tmp_path / "docs.dat")
+        )
+        reference = make_index(posting_cache_size=0)
+        for doc in corpus(15):
+            index.add(doc)
+            reference.add(doc)
+        for _ in range(3):
+            for q in QUERIES:
+                assert index.query(q) == reference.query(q), q
+        stats = index.cache_stats()
+        assert stats["buffer_pool"]["evictions"] > 0
+        assert stats["descent"]["combined"]["hits"] > 0
+        index.close()
+        index.docstore.close()
+
+    def test_rist_finalize_clears_cache(self):
+        index = RistIndex(SequenceEncoder(schema=build_purchase_schema()))
+        uncached = make_index(posting_cache_size=0)
+        for doc in corpus(10):
+            index.add(doc)
+            uncached.add(doc)
+        for q in QUERIES:
+            assert index.query(q) == uncached.query(q), q
+
+    def test_cache_stats_shape(self):
+        index = make_index()
+        index.add(build_figure3_record())
+        index.query("/P/S/N")
+        stats = index.cache_stats()
+        for field in ("groups", "hits", "misses", "invalidations", "hit_rate"):
+            assert field in stats["postings"]
+        assert set(stats["descent"]) == {"combined", "docid"}
+
+    def test_match_stats_counters(self):
+        index = make_index(posting_cache_size=16)
+        for doc in corpus(8):
+            index.add(doc)
+        index.query("/P[S[L='boston']][B[L='newyork']]")
+        first = index.match_stats
+        assert first.range_queries > 0
+        assert first.cache_hits + first.cache_misses > 0
+        index.query("/P[S[L='boston']][B[L='newyork']]")
+        assert index.match_stats.cache_hits > 0  # warm second run
+
+
+@settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_docs=st.integers(min_value=1, max_value=10),
+)
+def test_cached_batched_equals_uncached_recursive(seed, n_docs):
+    """Property: all four (cache x traversal) combos yield the same scopes."""
+    cached = make_index(posting_cache_size=8)
+    uncached = make_index(posting_cache_size=0)
+    rng = random.Random(seed)
+    locs = ["boston", "newyork", "austin"]
+    makers = ["intel", "amd", "ibm"]
+    for _ in range(n_docs):
+        doc = build_record(
+            rng.choice(locs), rng.choice(locs), rng.sample(makers, rng.randint(1, 2))
+        )
+        cached.add(doc)
+        uncached.add(doc)
+    matchers = [
+        SequenceMatcher(cached, batched=True),
+        SequenceMatcher(cached, batched=False),
+        SequenceMatcher(uncached, batched=True),
+        SequenceMatcher(uncached, batched=False),
+    ]
+    for q in QUERIES:
+        for qseq in cached.translator.translate(parse_xpath(q)):
+            results = [
+                sorted((s.n, s.size) for s in m.final_scopes(qseq)) for m in matchers
+            ]
+            assert all(r == results[0] for r in results[1:]), q
