@@ -43,6 +43,21 @@ def load_baseline(name: str, ref: str) -> dict | None:
         return None
 
 
+def headline_of(snapshot: object) -> float | None:
+    """``headline_seconds`` as a positive float, or ``None``.
+
+    Baselines written by older harness versions (or by hand) may lack
+    the key, hold a non-numeric value, or not even be a JSON object —
+    none of which should crash the gate.
+    """
+    if not isinstance(snapshot, dict):
+        return None
+    value = snapshot.get("headline_seconds")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value) if value > 0 else None
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("files", nargs="+", help="BENCH_*.json files at the repo root")
@@ -56,15 +71,25 @@ def main(argv: list[str] | None = None) -> int:
         if not current_path.exists():
             print(f"error: {name} missing — did the benchmark run?", file=sys.stderr)
             return 2
-        current = json.loads(current_path.read_text())
+        try:
+            current = json.loads(current_path.read_text())
+        except json.JSONDecodeError as exc:
+            print(f"{name}: current snapshot is not valid JSON ({exc}); skipping")
+            continue
         baseline = load_baseline(name, args.baseline_ref)
         if baseline is None:
             print(f"{name}: no committed baseline at {args.baseline_ref}; skipping")
             continue
-        now = current.get("headline_seconds")
-        then = baseline.get("headline_seconds")
-        if now is None or then is None or then <= 0:
-            print(f"{name}: headline_seconds missing/zero; skipping")
+        now = headline_of(current)
+        then = headline_of(baseline)
+        if then is None:
+            print(
+                f"{name}: baseline has no usable headline_seconds; skipping "
+                "(commit a fresh snapshot to enable the gate)"
+            )
+            continue
+        if now is None:
+            print(f"{name}: current snapshot has no usable headline_seconds; skipping")
             continue
         ratio = now / then
         verdict = "OK" if ratio <= args.factor else "REGRESSION"

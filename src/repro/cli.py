@@ -94,6 +94,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser("stats", help="index size statistics")
     p_stats.add_argument("dbdir", type=Path)
     p_stats.set_defaults(handler=_cmd_stats)
+
+    p_check = sub.add_parser(
+        "check", help="verify structural invariants of an on-disk index"
+    )
+    p_check.add_argument("dbdir", type=Path)
+    p_check.set_defaults(handler=_cmd_check)
     return parser
 
 
@@ -228,6 +234,30 @@ def _cmd_remove(args: argparse.Namespace) -> int:
         _close_index(index)
         print(f"removed {removed} document(s)")
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run every invariant checker against the on-disk index.
+
+    Exit code 0 when all invariants hold, 1 when any is violated —
+    ``repro check DBDIR`` is safe to wire into cron/CI against a
+    production index directory (the index is only read).
+    """
+    from repro.testing.invariants import check_index
+
+    index = _open_index(args.dbdir)
+    try:
+        reports = check_index(index)
+        for report in reports:
+            print(report.summary())
+        failed = [report for report in reports if not report.ok]
+        if failed:
+            print(f"{len(failed)} checker(s) found violations")
+            return 1
+        print("all invariants hold")
+        return 0
+    finally:
+        _close_index(index)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:

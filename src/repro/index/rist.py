@@ -49,6 +49,7 @@ class RistIndex(XmlIndexBase, CombinedTreeHost):
         source_store=None,
         max_alternatives: int = 24,
         posting_cache_size: int = 512,
+        batched: bool = True,
     ) -> None:
         XmlIndexBase.__init__(
             self, encoder, docstore,
@@ -58,7 +59,7 @@ class RistIndex(XmlIndexBase, CombinedTreeHost):
         self.tree = BPlusTree(self._pager, slot=0)
         self.docid_tree = BPlusTree(self._pager, slot=1)
         self.postings = PostingCache(posting_cache_size) if posting_cache_size else None
-        self._matcher = SequenceMatcher(self)
+        self._matcher = SequenceMatcher(self, batched=batched)
         self.trie: Optional[SequenceTrie] = SequenceTrie()
         self._root_scope: Optional[Scope] = None
 

@@ -47,16 +47,23 @@ __all__ = ["QueryTranslator", "relax_query_tree"]
 
 
 def relax_query_tree(root: QueryNode) -> QueryNode:
-    """Weaken a query so that its translation stays small.
+    """Weaken a query so that its translation stays small and complete.
 
-    Used for the paper's footnote-2 fallback: queries whose same-label
-    branches (or wildcard-branch placements) would explode into too many
-    sequence alternatives are *relaxed* — per parent, only the largest
-    branch of each label and the largest wildcard branch survive.  Every
-    document matching the original query matches the relaxed one (only
-    constraints are dropped), so raw-matching the relaxed query and
-    verifying candidates against the **original** tree is sound and
-    complete under the verifier's XPath semantics.
+    Used for the paper's footnote-2 fallback and for exact-mode
+    candidate generation: queries whose same-label branches (or
+    wildcard-branch placements) would explode into too many sequence
+    alternatives are *relaxed* — per parent, only the largest branch of
+    each label survives, and a wildcard branch survives only when the
+    parent has no concrete branches at all.  The latter is a soundness
+    requirement, not just a size optimisation: a wildcard branch may
+    bind the very node a concrete sibling binds (``/r[*/b][a/c]``
+    against one ``a`` holding both ``b`` and ``c``), which puts its
+    items *inside* the sibling's subtree in document order — a position
+    the translator's between-groups placement enumeration can never
+    emit.  Every document matching the original query matches the
+    relaxed one (only constraints are dropped), so raw-matching the
+    relaxed query and verifying candidates against the **original**
+    tree is sound and complete under the verifier's XPath semantics.
     """
     relaxed = QueryNode(root.label, value=root.value, op=root.op)
     best: dict[str, QueryNode] = {}
@@ -71,7 +78,7 @@ def relax_query_tree(root: QueryNode) -> QueryNode:
                 best[child.label] = child
     for child in best.values():
         relaxed.add(relax_query_tree(child))
-    if wildcard_best is not None:
+    if wildcard_best is not None and not best:
         relaxed.add(relax_query_tree(wildcard_best))
     return relaxed
 

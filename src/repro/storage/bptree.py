@@ -682,6 +682,13 @@ class BPlusTree:
         self._descent = None
 
     @property
+    def structure_version(self) -> int:
+        """Monotone counter bumped on every structural change (splits,
+        merges, borrows, root swaps, bulk loads).  Invariant checkers use
+        it to assert monotonicity across mutations."""
+        return self._structure_version
+
+    @property
     def descent_hit_rate(self) -> float:
         """Fraction of seeks that skipped the interior walk."""
         total = self.descent_hits + self.descent_misses

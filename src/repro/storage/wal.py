@@ -154,6 +154,18 @@ class WalPager(Pager):
         self._file.close()
         self._closed = True
 
+    def abandon(self) -> None:
+        """Drop the file handle *without* committing.
+
+        Models a process death for crash-consistency harnesses: buffered
+        mutations are lost, the on-disk files are left exactly as the last
+        durability primitive left them, and the pager becomes unusable.
+        """
+        if self._closed:
+            return
+        self._file.close()
+        self._closed = True
+
     # ------------------------------------------------------------------
     # the redo protocol
 
@@ -196,28 +208,51 @@ class WalPager(Pager):
         entries = self._journal_entries()
         crc = 0
         with open(self.journal_path, "wb") as journal:
-            journal.write(
-                struct.pack(_WAL_HEADER_FMT, _WAL_MAGIC, self.page_size, len(entries))
+            self._journal_write(
+                journal,
+                struct.pack(_WAL_HEADER_FMT, _WAL_MAGIC, self.page_size, len(entries)),
             )
             for pid, data in entries:
                 record = struct.pack("<Q", pid) + data
                 crc = zlib.crc32(record, crc)
-                journal.write(record)
-            journal.write(struct.pack("<I", crc))
-            journal.write(_WAL_COMMIT)
-            journal.flush()
-            os.fsync(journal.fileno())
+                self._journal_write(journal, record)
+            self._journal_write(journal, struct.pack("<I", crc))
+            self._journal_write(journal, _WAL_COMMIT)
+            self._journal_sync(journal)
 
     def _apply_overlay(self) -> None:
         for pid, data in self._journal_entries():
-            self._file.seek(pid * self.page_size)
-            self._file.write(data)
-        self._file.flush()
-        os.fsync(self._file.fileno())
+            self._main_write(pid, data, self.page_size)
+        self._main_sync()
         self._overlay.clear()
         self._header_dirty = False
 
     def _clear_journal(self) -> None:
+        self._journal_unlink()
+
+    # -- durability primitives ------------------------------------------
+    # Every byte the redo protocol makes durable flows through these five
+    # methods, in commit order: journal writes, journal fsync, main-file
+    # writes, main-file fsync, journal unlink.  Crash-consistency
+    # harnesses (repro.testing.faults) subclass WalPager and override
+    # them to enumerate and kill every write/fsync boundary.
+
+    def _journal_write(self, journal, data: bytes) -> None:
+        journal.write(data)
+
+    def _journal_sync(self, journal) -> None:
+        journal.flush()
+        os.fsync(journal.fileno())
+
+    def _main_write(self, page_id: int, data: bytes, page_size: int) -> None:
+        self._file.seek(page_id * page_size)
+        self._file.write(data)
+
+    def _main_sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def _journal_unlink(self) -> None:
         if os.path.exists(self.journal_path):
             os.remove(self.journal_path)
 
@@ -231,11 +266,9 @@ class WalPager(Pager):
             os.remove(self.journal_path)  # torn write: pre-commit crash
             return
         for pid, data in entries:
-            self._file.seek(pid * page_size)
-            self._file.write(data)
-        self._file.flush()
-        os.fsync(self._file.fileno())
-        os.remove(self.journal_path)
+            self._main_write(pid, data, page_size)
+        self._main_sync()
+        self._journal_unlink()
 
     def _read_journal(self) -> tuple[list[tuple[int, bytes]], int]:
         with open(self.journal_path, "rb") as journal:

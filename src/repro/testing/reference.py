@@ -1,0 +1,122 @@
+"""Naive in-memory XPath reference evaluator.
+
+The trusted side of the differential oracle.  It evaluates a query tree
+directly against the *original* :class:`~repro.doc.model.XmlNode`
+document trees — no sequences, no B+Trees, no caches — under the same
+existential tree-embedding semantics the repo's exact mode
+(``query(..., verify=True)``) promises:
+
+* a concrete query node matches a data node with the same label;
+* ``*`` matches any one element/attribute node;
+* a ``//`` node's children may match any proper descendant;
+* a value predicate ``=`` requires a value leaf with the same hash
+  (identical to raw-text equality for the default unbucketed hasher);
+  other operators compare the raw text, numerically when both sides
+  parse as numbers;
+* every query child must be satisfied independently (two branches may
+  embed onto the same data node).
+
+The implementation deliberately shares **no code** with
+:mod:`repro.index.verification` — it walks ``XmlNode.expanded()`` trees,
+not reconstructed sequence trees, so a bug in the sequence codec or the
+verifier cannot cancel out against the reference.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+from repro.doc.model import XmlNode
+from repro.query.ast import QueryNode
+from repro.sequence.vocabulary import ValueHasher
+
+__all__ = ["reference_matches", "reference_results"]
+
+
+def reference_matches(
+    document: XmlNode, query: QueryNode, hasher: ValueHasher
+) -> bool:
+    """True when ``query`` embeds into ``document`` (original tree)."""
+    expanded = document.expanded()
+    super_root = XmlNode("#super-root")
+    super_root.children = [expanded]
+    return _child_matches(query, super_root, hasher)
+
+
+def reference_results(
+    documents: Iterable[XmlNode], query: QueryNode, hasher: ValueHasher
+) -> list[int]:
+    """Positions (indices into ``documents``) of the matching documents."""
+    return [
+        position
+        for position, document in enumerate(documents)
+        if reference_matches(document, query, hasher)
+    ]
+
+
+def _descendants(node: XmlNode) -> Iterator[XmlNode]:
+    """Proper descendants of ``node`` in document order."""
+    for child in node.children:
+        yield child
+        yield from _descendants(child)
+
+
+def _child_matches(qnode: QueryNode, parent: XmlNode, hasher: ValueHasher) -> bool:
+    """Does some admissible node under ``parent`` satisfy ``qnode``?"""
+    if qnode.is_dslash:
+        return all(
+            any(
+                _node_matches(qchild, dnode, hasher)
+                for dnode in _descendants(parent)
+                if not dnode.is_value
+            )
+            for qchild in qnode.children
+        )
+    return any(
+        _node_matches(qnode, dnode, hasher)
+        for dnode in parent.children
+        if not dnode.is_value
+    )
+
+
+def _node_matches(qnode: QueryNode, dnode: XmlNode, hasher: ValueHasher) -> bool:
+    if qnode.is_dslash:
+        return _child_matches(qnode, dnode, hasher)
+    if not qnode.is_star and dnode.label != qnode.label:
+        return False
+    if qnode.value is not None and not _value_satisfies(qnode, dnode, hasher):
+        return False
+    return all(_child_matches(qchild, dnode, hasher) for qchild in qnode.children)
+
+
+def _value_satisfies(qnode: QueryNode, dnode: XmlNode, hasher: ValueHasher) -> bool:
+    assert qnode.value is not None
+    for child in dnode.children:
+        if not child.is_value:
+            continue
+        if qnode.op == "=":
+            if hasher(child.value) == hasher(qnode.value):
+                return True
+        elif _compare(child.value, qnode.op, qnode.value):
+            return True
+    return False
+
+
+def _compare(raw: str, op: str, operand: str) -> bool:
+    left: Union[str, float]
+    right: Union[str, float]
+    try:
+        left, right = float(raw), float(operand.strip())
+    except ValueError:
+        left, right = raw, operand.strip()
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right

@@ -1,0 +1,107 @@
+"""The CI benchmark gate must skip cleanly on unusable snapshots and
+exit nonzero only on an actual regression."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+cr = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_regression", cr)
+_spec.loader.exec_module(cr)
+
+
+class TestHeadlineOf:
+    @pytest.mark.parametrize(
+        "snapshot",
+        [
+            {},  # key missing
+            {"headline_seconds": None},
+            {"headline_seconds": "fast"},
+            {"headline_seconds": True},  # bool is not a duration
+            {"headline_seconds": 0},
+            {"headline_seconds": -1.5},
+            [1, 2, 3],  # not even an object
+            "just a string",
+            None,
+        ],
+    )
+    def test_unusable_snapshots_are_none(self, snapshot):
+        assert cr.headline_of(snapshot) is None
+
+    def test_numeric_values_coerce(self):
+        assert cr.headline_of({"headline_seconds": 2}) == 2.0
+        assert cr.headline_of({"headline_seconds": 0.25}) == 0.25
+
+
+@pytest.fixture
+def gate(tmp_path, monkeypatch):
+    """Run main() against a temp repo root with a stubbed baseline."""
+    monkeypatch.setattr(cr, "REPO_ROOT", tmp_path)
+    state = {"baseline": None}
+    monkeypatch.setattr(cr, "load_baseline", lambda name, ref: state["baseline"])
+
+    def run(current, baseline, *extra):
+        state["baseline"] = baseline
+        path = tmp_path / "BENCH_x.json"
+        if current is not None:
+            text = current if isinstance(current, str) else json.dumps(current)
+            path.write_text(text)
+        elif path.exists():
+            path.unlink()
+        return cr.main(["BENCH_x.json", *extra])
+
+    return run
+
+
+class TestMainExitCodes:
+    def test_within_factor_ok(self, gate, capsys):
+        assert gate({"headline_seconds": 1.1}, {"headline_seconds": 1.0}) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_fails(self, gate, capsys):
+        assert gate({"headline_seconds": 10.0}, {"headline_seconds": 1.0}) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_baseline_key_skips(self, gate, capsys):
+        assert gate({"headline_seconds": 1.0}, {"other": 1}) == 0
+        assert "no usable headline_seconds; skipping" in capsys.readouterr().out
+
+    def test_non_dict_baseline_skips(self, gate, capsys):
+        assert gate({"headline_seconds": 1.0}, [1, 2, 3]) == 0
+        assert "skipping" in capsys.readouterr().out
+
+    def test_no_baseline_skips(self, gate, capsys):
+        assert gate({"headline_seconds": 1.0}, None) == 0
+        assert "no committed baseline" in capsys.readouterr().out
+
+    def test_malformed_current_skips(self, gate, capsys):
+        assert gate("{not json", {"headline_seconds": 1.0}) == 0
+        assert "not valid JSON" in capsys.readouterr().out
+
+    def test_unusable_current_value_skips(self, gate, capsys):
+        assert gate({"headline_seconds": "so fast"}, {"headline_seconds": 1.0}) == 0
+        assert "current snapshot has no usable" in capsys.readouterr().out
+
+    def test_missing_current_file_is_usage_error(self, gate, capsys):
+        assert gate(None, {"headline_seconds": 1.0}) == 2
+        assert "did the benchmark run" in capsys.readouterr().err
+
+    def test_skip_and_regression_mix_still_fails(self, tmp_path, monkeypatch, capsys):
+        # one snapshot skips (keyless baseline), the other regresses:
+        # the skip must not mask the failure exit code
+        monkeypatch.setattr(cr, "REPO_ROOT", tmp_path)
+        baselines = {
+            "BENCH_skip.json": {},
+            "BENCH_slow.json": {"headline_seconds": 1.0},
+        }
+        monkeypatch.setattr(cr, "load_baseline", lambda name, ref: baselines[name])
+        (tmp_path / "BENCH_skip.json").write_text(json.dumps({"headline_seconds": 1.0}))
+        (tmp_path / "BENCH_slow.json").write_text(json.dumps({"headline_seconds": 9.0}))
+        assert cr.main(["BENCH_skip.json", "BENCH_slow.json"]) == 1
+        out = capsys.readouterr().out
+        assert "skipping" in out and "REGRESSION" in out

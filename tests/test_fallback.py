@@ -41,10 +41,20 @@ class TestRelaxQueryTree:
         assert relaxed.children[0].value == "w"
 
     def test_wildcards_deduplicated(self):
-        root = parse_xpath("/A[*[x]][*[y]]/B")
+        # wildcard-only siblings: the largest wildcard branch survives
+        root = parse_xpath("/A[*[x]][*/y/z]")
         relaxed = relax_query_tree(root)
         stars = [c for c in relaxed.children if c.is_wildcard]
         assert len(stars) == 1
+        assert len(relaxed.children) == 1
+
+    def test_wildcard_branch_dropped_beside_concrete_sibling(self):
+        """A wildcard branch may bind the same node as a concrete sibling
+        (its items land *inside* the sibling's subtree in document
+        order), so relaxation must drop it, not try to place it."""
+        root = parse_xpath("/A[*[x]][*[y]]/B")
+        relaxed = relax_query_tree(root)
+        assert [c.label for c in relaxed.children] == ["B"]
 
     def test_relaxed_is_weaker(self):
         """Every doc matching the original matches the relaxed query."""

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.doc.model import XmlNode
 from repro.doc.schema import ChildSpec, Occurs, Schema
 from repro.errors import CodecError
+from repro.index.verification import rebuild_tree
 from repro.sequence.encoding import (
     Item,
     StructureEncodedSequence,
@@ -16,6 +17,30 @@ from repro.sequence.encoding import (
 )
 from repro.sequence.transform import SequenceEncoder
 from repro.sequence.vocabulary import ValueHasher, fnv1a_64
+
+
+# -- Hypothesis strategy: real recursive XML trees ---------------------------
+
+def _make_node(label, text, attributes, children):
+    node = XmlNode(label, attributes=dict(attributes), text=text)
+    for child in children:
+        node.add(child)
+    return node
+
+
+_labels = st.sampled_from(["a", "b", "c", "d"])
+_texts = st.one_of(st.none(), st.sampled_from(["u", "v", "7", "part#1", ""]))
+_attrs = st.dictionaries(
+    st.sampled_from(["id", "k"]), st.sampled_from(["x", "9"]), max_size=2
+)
+
+xml_trees = st.recursive(
+    st.builds(_make_node, _labels, _texts, _attrs, st.just([])),
+    lambda kids: st.builds(
+        _make_node, _labels, _texts, _attrs, st.lists(kids, min_size=1, max_size=3)
+    ),
+    max_leaves=12,
+)
 
 
 def figure3_tree() -> XmlNode:
@@ -193,39 +218,50 @@ class TestSequenceCodec:
         with pytest.raises(AttributeError):
             seq.items = ()
 
-    @given(
-        st.lists(
-            st.tuples(st.sampled_from("abcd"), st.booleans(), st.integers(0, 99)),
-            max_size=20,
-        )
-    )
-    def test_property_roundtrip_random_trees(self, spec):
-        """Random trees encode and re-decode identically."""
-        root = XmlNode("r")
-        nodes = [root]
-        for label, as_value, seed in spec:
-            parent = nodes[seed % len(nodes)]
-            if as_value:
-                parent.text = (parent.text or "") + label
-            else:
-                nodes.append(parent.element(label))
-        seq = SequenceEncoder().encode_node(root)
+    @given(xml_trees)
+    def test_property_roundtrip_random_trees(self, tree):
+        """Random trees (text + attributes) encode and re-decode identically."""
+        seq = SequenceEncoder().encode_node(tree)
         assert StructureEncodedSequence.from_bytes(seq.to_bytes()) == seq
+
+    @given(xml_trees)
+    def test_property_to_bytes_deterministic(self, tree):
+        """Serialisation is a pure function of the sequence."""
+        seq = SequenceEncoder().encode_node(tree)
+        assert seq.to_bytes() == seq.to_bytes()
+        assert seq.to_bytes() == StructureEncodedSequence.from_bytes(
+            seq.to_bytes()
+        ).to_bytes()
+
+
+def _canonical_expanded(node: XmlNode, encoder: SequenceEncoder) -> tuple:
+    """The expanded tree in the encoder's sibling order, values hashed."""
+    if node.is_value:
+        return ("value", encoder.hasher(node.value))
+    ordered = sorted(enumerate(node.children), key=encoder.sibling_sort_key(node.label))
+    return (
+        "elem",
+        node.label,
+        tuple(_canonical_expanded(child, encoder) for _, child in ordered),
+    )
+
+
+def _canonical_rebuilt(node) -> tuple:
+    """A :class:`SequenceTreeNode` subtree in its stored (sequence) order."""
+    if node.is_value:
+        return ("value", node.symbol)
+    return (
+        "elem",
+        node.symbol,
+        tuple(_canonical_rebuilt(child) for child in node.children),
+    )
 
 
 class TestTransformInvariants:
-    @given(
-        st.lists(
-            st.tuples(st.sampled_from("abcd"), st.integers(0, 99)), max_size=25
-        )
-    )
-    def test_preorder_prefix_invariant(self, spec):
+    @given(xml_trees)
+    def test_preorder_prefix_invariant(self, tree):
         """Every item's prefix equals the label path of its ancestors."""
-        root = XmlNode("r")
-        nodes = [root]
-        for label, seed in spec:
-            nodes.append(nodes[seed % len(nodes)].element(label))
-        seq = SequenceEncoder().encode_node(root)
+        seq = SequenceEncoder().encode_node(tree)
         stack: list[str] = []
         for item in seq:
             assert len(item.prefix) <= len(stack) or item.prefix == tuple(stack)
@@ -234,7 +270,26 @@ class TestTransformInvariants:
             if not item.is_value:
                 stack.append(item.symbol)
 
-    def test_sequence_length_equals_expanded_size(self):
-        tree = figure3_tree()
+    @given(xml_trees)
+    def test_full_pipeline_rebuilds_expanded_tree(self, tree):
+        """doc → sequence → bytes → sequence → tree is lossless.
+
+        The rebuilt tree must be label- and structure-identical to the
+        expanded source tree (canonicalised to the encoder's sibling
+        order; value leaves compare by hash, which is all the sequence
+        stores).
+        """
+        encoder = SequenceEncoder()
+        decoded = StructureEncodedSequence.from_bytes(
+            encoder.encode_node(tree).to_bytes()
+        )
+        super_root = rebuild_tree(decoded)
+        assert len(super_root.children) == 1
+        assert _canonical_rebuilt(super_root.children[0]) == _canonical_expanded(
+            tree.expanded(), encoder
+        )
+
+    @given(xml_trees)
+    def test_sequence_length_equals_expanded_size(self, tree):
         seq = SequenceEncoder().encode_node(tree)
         assert len(seq) == tree.expanded().size()

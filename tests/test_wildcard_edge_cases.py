@@ -13,7 +13,9 @@ from repro.index.rist import RistIndex
 from repro.index.vist import VistIndex
 from repro.baselines.nodeindex import XissIndex
 from repro.baselines.pathindex import PathIndex
+from repro.query.xpath import parse_xpath
 from repro.sequence.transform import SequenceEncoder
+from repro.testing.reference import reference_results
 
 ALL_KINDS = [NaiveIndex, RistIndex, VistIndex, PathIndex, XissIndex]
 
@@ -88,3 +90,74 @@ class TestWildcardsWithValues:
         index = VistIndex(SequenceEncoder())
         doc_id = index.add(leafy())
         assert index.query("/r//a") == [doc_id]
+
+
+# -- oracle-checked edge cases -----------------------------------------------
+#
+# These corpora/queries exercise the relaxed-candidate machinery
+# (same-label sibling branches, wildcard-beside-branch) and `//*//`
+# chains.  Instead of hand-deriving the answer per case, the expected
+# result comes from the independent reference evaluator over the
+# original trees — the same oracle the randomized harness uses.
+
+
+def _same_label_branch_corpus() -> list[XmlNode]:
+    """Documents distinguishing [a/b][a/c] from a[b][c] under wildcards."""
+    docs = []
+
+    one_a_both = XmlNode("r")  # a single `a` holding both b and c
+    a = one_a_both.element("a")
+    a.element("b")
+    a.element("c")
+    docs.append(one_a_both)
+
+    split_as = XmlNode("r")  # two sibling `a`s, one b, one c
+    split_as.element("a").element("b")
+    split_as.element("a").element("c")
+    docs.append(split_as)
+
+    b_only = XmlNode("r")
+    b_only.element("a").element("b")
+    docs.append(b_only)
+
+    deep = XmlNode("r")  # b and c one level deeper, via x
+    x = deep.element("a").element("x")
+    x.element("b")
+    x.element("c")
+    docs.append(deep)
+
+    star_decoy = XmlNode("r")  # `a` beside a same-label branch through `d`
+    star_decoy.element("a").element("b")
+    star_decoy.element("d").element("a")
+    docs.append(star_decoy)
+
+    return docs
+
+
+_EDGE_QUERIES = [
+    # `*` under same-label sibling branches (relaxed-candidate path)
+    "/r[a/b][a/c]",
+    "/r/a[b][c]",
+    "/r[a/b][a/*]",
+    "/r[*/b][a/c]",
+    "/r/*[b][c]",
+    # `//*//` chains: wildcard between two descendant axes
+    "//*//b",
+    "/r//*//b",
+    "//*//*",
+    "//a//*",
+    "/r//*//c",
+]
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=lambda c: c.__name__)
+@pytest.mark.parametrize("xpath", _EDGE_QUERIES)
+def test_wildcard_edge_cases_match_reference(kind, xpath):
+    encoder = SequenceEncoder()
+    index = kind(encoder)
+    docs = _same_label_branch_corpus()
+    positions = {index.add(doc): pos for pos, doc in enumerate(docs)}
+    query = parse_xpath(xpath)
+    expected = reference_results(docs, query, encoder.hasher)
+    got = sorted(positions[doc_id] for doc_id in index.query(xpath, verify=True))
+    assert got == expected, f"{kind.__name__} diverged from reference on {xpath!r}"
