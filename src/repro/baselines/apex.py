@@ -88,7 +88,8 @@ class ApexIndex(XmlIndexBase):
         # join-based evaluation is exact for same-label branches too
         return False
 
-    def _execute(self, root: QueryNode) -> set[int]:
+    def _execute(self, root: QueryNode, guard=None) -> set[int]:
+        self._guard = guard
         if root.is_dslash:
             doc_sets = [
                 merge_doc_ids(self._eval(child, parent_label=None, anchored=False))
@@ -107,6 +108,8 @@ class ApexIndex(XmlIndexBase):
     ) -> list[Occurrence]:
         """Occurrences of ``qnode`` satisfying its subtree, fetched through
         the length-2 edge postings when the parent label is concrete."""
+        if getattr(self, "_guard", None) is not None:
+            self._guard.step()
         occs = self._fetch(qnode, parent_label)
         if anchored:
             occs = [occ for occ in occs if occ.level == 0]

@@ -78,7 +78,8 @@ class XissIndex(XmlIndexBase):
         # join-based evaluation is exact for same-label branches too
         return False
 
-    def _execute(self, root: QueryNode) -> set[int]:
+    def _execute(self, root: QueryNode, guard=None) -> set[int]:
+        self._guard = guard
         if root.is_dslash:
             doc_sets = [
                 merge_doc_ids(self._eval(child, anchored=False))
@@ -94,6 +95,8 @@ class XissIndex(XmlIndexBase):
 
     def _eval(self, qnode: QueryNode, anchored: bool) -> list[Occurrence]:
         """Occurrences of ``qnode`` whose subtree satisfies its constraints."""
+        if getattr(self, "_guard", None) is not None:
+            self._guard.step()
         occs = self._fetch_elements(qnode)
         if anchored:
             occs = [occ for occ in occs if occ.level == 0]

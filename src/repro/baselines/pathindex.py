@@ -77,7 +77,8 @@ class PathIndex(XmlIndexBase):
         # join-based evaluation is exact for same-label branches too
         return False
 
-    def _execute(self, root: QueryNode) -> set[int]:
+    def _execute(self, root: QueryNode, guard=None) -> set[int]:
+        self._guard = guard
         chain = self._as_raw_path(root)
         if chain is not None:
             return merge_doc_ids(self._fetch(chain))
@@ -119,6 +120,8 @@ class PathIndex(XmlIndexBase):
             node = node.children[0]
 
     def _eval(self, qnode: QueryNode, parent_path: PathTokens) -> list[Occurrence]:
+        if getattr(self, "_guard", None) is not None:
+            self._guard.step()
         if qnode.is_star:
             path = parent_path + (Star(next(self._wid)),)
         elif qnode.is_dslash:

@@ -26,7 +26,14 @@ from typing import Optional
 from repro.doc.parser import parse_document
 from repro.doc.schema import Schema
 from repro.doc.split import split_records
-from repro.errors import ReproError
+from repro.errors import (
+    CorruptionError,
+    QueryBudgetExceededError,
+    QueryTimeoutError,
+    ReproError,
+    TransientIOError,
+)
+from repro.index.guard import QueryGuard
 from repro.index.vist import VistIndex
 from repro.sequence.transform import SequenceEncoder
 from repro.storage.cache import BufferPool
@@ -35,7 +42,32 @@ from repro.storage.pager import FilePager
 
 _SCHEMA_FILE = "schema.dtd"
 
-__all__ = ["main"]
+__all__ = ["main", "open_index", "load_schema"]
+
+# Exit codes (also in the --help epilog). 2 doubles as the "damage or
+# invariant violations found" code of `check` and `scrub`.
+EXIT_ERROR = 1  # any other repro error
+EXIT_VIOLATIONS = 2  # check/scrub found problems (the run itself succeeded)
+EXIT_CORRUPT = 3  # checksum failure reading stored data
+EXIT_TIMEOUT = 4  # query exceeded its --deadline-ms
+EXIT_BUDGET = 5  # query exceeded --max-steps / --max-page-reads
+EXIT_TRANSIENT = 6  # I/O fault persisted through every retry
+
+_EPILOG = """\
+exit codes:
+  0  success
+  1  error (parse failure, bad arguments, index state)
+  2  check/scrub found corruption or invariant violations
+  3  corrupt data: a page or record failed its checksum
+  4  query exceeded its --deadline-ms
+  5  query exceeded --max-steps or --max-page-reads
+  6  transient I/O fault persisted through every retry
+
+when your index is damaged (exit code 3, or a read-suspect health
+report from `repro stats`): run `repro scrub DBDIR` to assess, then
+`repro salvage DBDIR` to rebuild the index from the intact document
+store.  See docs/INTERNALS.md section 9.
+"""
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -43,14 +75,34 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except QueryTimeoutError as exc:
+        print(f"timeout: {exc}", file=sys.stderr)
+        return EXIT_TIMEOUT
+    except QueryBudgetExceededError as exc:
+        print(f"budget exceeded: {exc}", file=sys.stderr)
+        return EXIT_BUDGET
+    except CorruptionError as exc:
+        print(
+            f"corrupt data: {exc}\n"
+            "run `repro scrub` to assess the damage and `repro salvage` to "
+            "rebuild the index from the document store",
+            file=sys.stderr,
+        )
+        return EXIT_CORRUPT
+    except TransientIOError as exc:
+        print(f"persistent I/O fault: {exc}", file=sys.stderr)
+        return EXIT_TRANSIENT
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro", description="ViST XML index (SIGMOD 2003 reproduction)"
+        prog="repro",
+        description="ViST XML index (SIGMOD 2003 reproduction)",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(required=True)
 
@@ -79,6 +131,21 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print match effort and cache hit rates after the query",
     )
+    p_query.add_argument(
+        "--deadline-ms",
+        type=float,
+        help="abort the query after this many milliseconds (exit code 4)",
+    )
+    p_query.add_argument(
+        "--max-steps",
+        type=int,
+        help="abort after this many matcher steps (exit code 5)",
+    )
+    p_query.add_argument(
+        "--max-page-reads",
+        type=int,
+        help="abort after this many pager reads (exit code 5)",
+    )
     p_query.set_defaults(handler=_cmd_query)
 
     p_nodes = sub.add_parser("nodes", help="node-granularity query results")
@@ -100,19 +167,41 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument("dbdir", type=Path)
     p_check.set_defaults(handler=_cmd_check)
+
+    p_scrub = sub.add_parser(
+        "scrub", help="verify every page and record checksum plus invariants"
+    )
+    p_scrub.add_argument("dbdir", type=Path)
+    p_scrub.add_argument(
+        "--no-invariants",
+        action="store_true",
+        help="checksums only; skip the structural invariant walk",
+    )
+    p_scrub.set_defaults(handler=_cmd_scrub)
+
+    p_salvage = sub.add_parser(
+        "salvage", help="rebuild a damaged index from its document store"
+    )
+    p_salvage.add_argument("dbdir", type=Path)
+    p_salvage.set_defaults(handler=_cmd_salvage)
     return parser
 
 
-def _open_index(dbdir: Path, schema_path: Optional[Path] = None) -> VistIndex:
-    dbdir.mkdir(parents=True, exist_ok=True)
-    stored_schema = dbdir / _SCHEMA_FILE
-    if schema_path is not None:
-        stored_schema.write_text(schema_path.read_text())
-    schema = None
+def load_schema(dbdir: Path) -> Optional[Schema]:
+    """The schema stored inside ``dbdir``, if indexing recorded one."""
+    stored_schema = Path(dbdir) / _SCHEMA_FILE
     if stored_schema.exists():
-        schema = Schema.from_dtd(stored_schema.read_text())
+        return Schema.from_dtd(stored_schema.read_text())
+    return None
+
+
+def open_index(dbdir: Path, schema_path: Optional[Path] = None) -> VistIndex:
+    dbdir = Path(dbdir)
+    dbdir.mkdir(parents=True, exist_ok=True)
+    if schema_path is not None:
+        (dbdir / _SCHEMA_FILE).write_text(schema_path.read_text())
     return VistIndex(
-        SequenceEncoder(schema=schema),
+        SequenceEncoder(schema=load_schema(dbdir)),
         docstore=FileDocStore(dbdir / "docs.dat"),
         # write-back LRU pool in front of the page file: repeated index
         # traversals in one invocation hit memory, not disk
@@ -130,7 +219,7 @@ def _close_index(index: VistIndex) -> None:
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
-    index = _open_index(args.dbdir, args.schema)
+    index = open_index(args.dbdir, args.schema)
     split_labels = (
         [label.strip() for label in args.split.split(",") if label.strip()]
         if args.split
@@ -154,10 +243,23 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    index = _open_index(args.dbdir)
+    guard = None
+    if args.deadline_ms is not None or args.max_steps is not None or args.max_page_reads is not None:
+        guard = QueryGuard(
+            deadline_ms=args.deadline_ms,
+            max_steps=args.max_steps,
+            max_page_reads=args.max_page_reads,
+        )
+    index = open_index(args.dbdir)
     try:
-        result = index.query(args.xpath, verify=args.verify)
+        result = index.query(args.xpath, verify=args.verify, guard=guard)
         mode = "verified" if args.verify else "raw"
+        if not index.health.ok:
+            # the answer came from the docstore, not the damaged index;
+            # persist the observation so `repro stats` can surface it
+            _write_health(args.dbdir, index)
+            print(index.health.summary(), file=sys.stderr)
+            mode += ", degraded"
         print(f"{len(result)} match(es) ({mode}): {result}")
         if args.show:
             for doc_id in result:
@@ -207,7 +309,7 @@ def _print_cache_stats(index: VistIndex) -> None:
 
 
 def _cmd_nodes(args: argparse.Namespace) -> int:
-    index = _open_index(args.dbdir)
+    index = open_index(args.dbdir)
     try:
         result = index.query_nodes(args.xpath)
         total = sum(len(v) for v in result.values())
@@ -224,7 +326,7 @@ def _cmd_nodes(args: argparse.Namespace) -> int:
 
 
 def _cmd_remove(args: argparse.Namespace) -> int:
-    index = _open_index(args.dbdir)
+    index = open_index(args.dbdir)
     removed = 0
     try:
         for doc_id in args.doc_ids:
@@ -239,13 +341,13 @@ def _cmd_remove(args: argparse.Namespace) -> int:
 def _cmd_check(args: argparse.Namespace) -> int:
     """Run every invariant checker against the on-disk index.
 
-    Exit code 0 when all invariants hold, 1 when any is violated —
+    Exit code 0 when all invariants hold, 2 when any is violated —
     ``repro check DBDIR`` is safe to wire into cron/CI against a
     production index directory (the index is only read).
     """
     from repro.testing.invariants import check_index
 
-    index = _open_index(args.dbdir)
+    index = open_index(args.dbdir)
     try:
         reports = check_index(index)
         for report in reports:
@@ -253,7 +355,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         failed = [report for report in reports if not report.ok]
         if failed:
             print(f"{len(failed)} checker(s) found violations")
-            return 1
+            return EXIT_VIOLATIONS
         print("all invariants hold")
         return 0
     finally:
@@ -261,7 +363,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    index = _open_index(args.dbdir)
+    index = open_index(args.dbdir)
     try:
         print(f"documents: {len(index)}")
         for name, stats in index.index_stats().items():
@@ -270,6 +372,59 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 f"({stats.total_bytes / 1024:.0f} KiB), height {stats.height}"
             )
         _print_cache_stats(index)
+        _print_health(args.dbdir, index)
     finally:
         _close_index(index)
+    return 0
+
+
+_HEALTH_FILE = "health.json"
+
+
+def _write_health(dbdir: Path, index: VistIndex) -> None:
+    import json
+
+    (Path(dbdir) / _HEALTH_FILE).write_text(
+        json.dumps(index.health.report(), indent=2) + "\n"
+    )
+
+
+def _print_health(dbdir: Path, index: VistIndex) -> None:
+    """Health of this process *and* what past degraded queries recorded."""
+    import json
+
+    if not index.health.ok:
+        print(index.health.summary())
+        return
+    sidecar = Path(dbdir) / _HEALTH_FILE
+    if sidecar.exists():
+        report = json.loads(sidecar.read_text())
+        print(
+            f"health: {report.get('status', 'unknown')} (recorded by an earlier "
+            f"run; {len(report.get('events', []))} corruption event(s), "
+            f"{report.get('degraded_queries', 0)} degraded query/queries)"
+        )
+        for event in report.get("events", []):
+            print(f"  {event.get('kind')}: {event.get('detail')}")
+        print("  run `repro scrub` to assess and `repro salvage` to rebuild")
+    else:
+        print("health: ok")
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    from repro.repair import scrub_db
+
+    report = scrub_db(args.dbdir, invariants=not args.no_invariants)
+    print(report.summary())
+    return 0 if report.ok else EXIT_VIOLATIONS
+
+
+def _cmd_salvage(args: argparse.Namespace) -> int:
+    from repro.repair import salvage_db
+
+    report = salvage_db(args.dbdir)
+    print(report.summary())
+    sidecar = Path(args.dbdir) / _HEALTH_FILE
+    if sidecar.exists():
+        sidecar.unlink()  # the rebuilt index starts with a clean bill
     return 0

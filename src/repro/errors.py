@@ -20,6 +20,71 @@ class PageError(StorageError):
     """A page id is out of range, freed, or a page file is corrupt."""
 
 
+class CorruptionError(StorageError):
+    """Stored bytes fail their checksum or structural validation.
+
+    Base class for the corruption-defense layer: callers that implement
+    graceful degradation (quarantine, salvage, degraded-mode answers)
+    catch this one class to cover both paged and record storage.
+    """
+
+
+class CorruptPageError(CorruptionError, PageError):
+    """A page's CRC trailer does not match its content.
+
+    Carries enough context to quarantine and report: the file ``path``,
+    the ``page_id``, the ``stored`` and ``computed`` checksums, and the
+    byte ``offset`` of the page slot inside the file.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        page_id: int,
+        stored: int,
+        computed: int,
+        offset: int = -1,
+        detail: str = "",
+    ) -> None:
+        message = (
+            f"{path}: page {page_id} checksum mismatch at offset {offset} "
+            f"(stored 0x{stored:08x}, computed 0x{computed:08x})"
+        )
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.path = path
+        self.page_id = page_id
+        self.stored = stored
+        self.computed = computed
+        self.offset = offset
+
+
+class CorruptRecordError(CorruptionError):
+    """A document-store record's CRC does not match its payload."""
+
+    def __init__(
+        self, path: str, doc_id: int, stored: int, computed: int, offset: int = -1
+    ) -> None:
+        super().__init__(
+            f"{path}: record for doc {doc_id} checksum mismatch at offset "
+            f"{offset} (stored 0x{stored:08x}, computed 0x{computed:08x})"
+        )
+        self.path = path
+        self.doc_id = doc_id
+        self.stored = stored
+        self.computed = computed
+        self.offset = offset
+
+
+class TransientIOError(StorageError):
+    """Marker for I/O failures worth retrying (flaky disk, EINTR).
+
+    The storage layer retries these with backoff; one that escapes means
+    the fault persisted through every attempt.
+    """
+
+
 class CodecError(StorageError):
     """A value cannot be encoded to (or decoded from) its byte form."""
 
@@ -54,6 +119,38 @@ class QueryParseError(QueryError):
 
 class TranslationError(QueryError):
     """Raised when a query tree cannot be translated to sequences."""
+
+
+class QueryGuardError(QueryError):
+    """Base class for query-guard interruptions (timeout, budget, cancel)."""
+
+
+class QueryTimeoutError(QueryGuardError):
+    """A query exceeded its wall-clock deadline."""
+
+    def __init__(self, deadline_ms: float, elapsed_ms: float) -> None:
+        super().__init__(
+            f"query exceeded its {deadline_ms:g} ms deadline "
+            f"({elapsed_ms:.1f} ms elapsed)"
+        )
+        self.deadline_ms = deadline_ms
+        self.elapsed_ms = elapsed_ms
+
+
+class QueryBudgetExceededError(QueryGuardError):
+    """A query exceeded a resource budget (matcher steps or page reads)."""
+
+    def __init__(self, resource: str, limit: int, used: int) -> None:
+        super().__init__(
+            f"query exceeded its {resource} budget ({used} > {limit})"
+        )
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+
+
+class QueryCancelledError(QueryGuardError):
+    """The query's guard was cooperatively cancelled."""
 
 
 class LabelingError(ReproError):

@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Union
 
 from repro.doc.model import XmlDocument, XmlNode
-from repro.errors import IndexStateError
+from repro.errors import CorruptionError, IndexStateError
+from repro.index.guard import IndexHealth, QueryGuard
 from repro.query.ast import QueryNode, QuerySequence
 from repro.query.translate import QueryTranslator
 from repro.query.xpath import parse_xpath
@@ -82,6 +83,11 @@ class XmlIndexBase:
         # optional: keep the original XML text so query results can be
         # materialised back into documents (see get_document)
         self.source_store = source_store
+        # corruption defense: health flips to "read-suspect" when a query
+        # hits a checksum failure, and (with degraded_fallback) the
+        # in-flight query is re-answered through the docstore
+        self.health = IndexHealth()
+        self.degraded_fallback = True
 
     # -- ingestion ---------------------------------------------------------
 
@@ -118,7 +124,12 @@ class XmlIndexBase:
     # -- querying ------------------------------------------------------------
 
     def query(
-        self, query: Query, *, verify: bool = False, fallback: bool = True
+        self,
+        query: Query,
+        *,
+        verify: bool = False,
+        fallback: bool = True,
+        guard: Optional[QueryGuard] = None,
     ) -> list[int]:
         """Evaluate a structural query; returns sorted matching doc ids.
 
@@ -132,41 +143,121 @@ class XmlIndexBase:
         *relaxed* (same-label branches deduplicated), raw-matched, and
         then always verified against the original tree — exact results
         at verification cost instead of a :class:`TranslationError`.
+
+        ``guard`` bounds the evaluation (deadline, step and page-read
+        budgets, cancellation); see :class:`~repro.index.guard.QueryGuard`.
+
+        **Degraded mode.**  When stored pages or records fail their
+        checksum mid-query and ``degraded_fallback`` is on (the default),
+        the index is marked read-suspect in :attr:`health` and this query
+        is re-answered exactly through the docstore-backed reference
+        evaluation — slower, but never silently wrong.  With the fallback
+        off, the :class:`~repro.errors.CorruptionError` propagates.
         """
+        root = parse_xpath(query) if isinstance(query, str) else query
+        if guard is not None:
+            guard.start(self._page_read_counter())
+        try:
+            return self._query_indexed(root, verify, fallback, guard)
+        except CorruptionError as exc:
+            if not self.degraded_fallback:
+                raise
+            self.health.record_corruption(exc)
+            return self._degraded_query(root, guard)
+
+    def _query_indexed(
+        self,
+        root: QueryNode,
+        verify: bool,
+        fallback: bool,
+        guard: Optional[QueryGuard],
+    ) -> list[int]:
+        """The normal (index-backed) evaluation path of :meth:`query`."""
         from repro.errors import TranslationError
         from repro.query.translate import relax_query_tree
 
         from repro.index.verification import query_needs_raw_values
 
-        root = parse_xpath(query) if isinstance(query, str) else query
         # range/inequality value predicates are never expressible over
         # hashes, on any index type: always verify (with raw values)
         verify = verify or query_needs_raw_values(root) or self._needs_verification(root)
         if all(node.is_wildcard for node in root.preorder()):
             # e.g. "/*": no concrete item survives translation; every
             # document is a candidate and verification decides
-            return sorted(
-                doc_id
-                for doc_id in self.docstore.ids()
-                if self._verify_one(doc_id, root)
-            )
+            matched = []
+            for doc_id in self.docstore.ids():
+                if guard is not None:
+                    guard.step()
+                if self._verify_one(doc_id, root):
+                    matched.append(doc_id)
+            return sorted(matched)
         if verify and self._needs_relaxed_candidates(root):
             # same-label sibling branches demand duplicate (symbol, prefix)
             # items that one data node may satisfy alone — raw matching
             # loses such answers (the Q5 caveat), so exact mode draws its
             # candidates from the relaxed query instead
-            doc_ids = self._execute(relax_query_tree(root))
+            doc_ids = self._execute(relax_query_tree(root), guard)
         else:
             try:
-                doc_ids = self._execute(root)
+                doc_ids = self._execute(root, guard)
             except TranslationError:
                 if not fallback:
                     raise
-                doc_ids = self._execute(relax_query_tree(root))
+                doc_ids = self._execute(relax_query_tree(root), guard)
                 verify = True
         if verify:
-            doc_ids = {d for d in doc_ids if self._verify_one(d, root)}
+            verified = set()
+            for d in doc_ids:
+                if guard is not None:
+                    guard.step()
+                if self._verify_one(d, root):
+                    verified.add(d)
+            doc_ids = verified
+        if guard is not None:
+            guard.check()  # reads issued since the last tick still count
         return sorted(doc_ids)
+
+    def _degraded_query(
+        self, root: QueryNode, guard: Optional[QueryGuard] = None
+    ) -> list[int]:
+        """Answer a query without trusting the index structures.
+
+        Every live document is evaluated directly: against its original
+        XML text via the reference evaluator when a ``source_store``
+        exists (full fidelity, including range predicates), otherwise by
+        tree-embedding verification of its stored sequence.  Docstore
+        records carry their own checksums, so a corrupt record raises
+        rather than contributing a silently wrong answer.
+        """
+        from repro.testing.reference import reference_matches
+
+        self.health.degraded_queries += 1
+        matched = []
+        for doc_id in self.docstore.ids():
+            if guard is not None:
+                guard.step()
+            if self.source_store is not None:
+                document = self.get_document(doc_id)
+                ok = reference_matches(document.root, root, self.encoder.hasher)
+            else:
+                ok = self._verify_one(doc_id, root)
+            if ok:
+                matched.append(doc_id)
+        return sorted(matched)
+
+    def _page_read_counter(self):
+        """Callable reporting cumulative pager reads, for page budgets.
+
+        Counts logical reads at the pager the index talks to (a
+        :class:`~repro.storage.cache.BufferPool` counts cache hits too,
+        keeping budgets deterministic regardless of cache temperature).
+        Indexes without a pager return ``None`` — page budgets are then
+        inert.
+        """
+        pager = getattr(self, "_pager", None)
+        if pager is None:
+            return None
+        return lambda: pager.read_count
 
     def explain(self, query: Query) -> QueryPlan:
         """Describe how :meth:`query` would evaluate ``query`` — the
@@ -287,16 +378,20 @@ class XmlIndexBase:
                 seen.add(child.label)
         return False
 
-    def _execute(self, root: QueryNode) -> set[int]:
+    def _execute(
+        self, root: QueryNode, guard: Optional[QueryGuard] = None
+    ) -> set[int]:
         """Evaluate a parsed query tree.  Default: sequence matching over
         every translation alternative; the join-based baselines override
         this with their own evaluation strategy."""
         doc_ids: set[int] = set()
         for alternative in self.translator.translate(root):
-            doc_ids.update(self.match_sequence(alternative))
+            doc_ids.update(self.match_sequence(alternative, guard))
         return doc_ids
 
-    def match_sequence(self, query_sequence: QuerySequence) -> set[int]:
+    def match_sequence(
+        self, query_sequence: QuerySequence, guard: Optional[QueryGuard] = None
+    ) -> set[int]:
         """Raw subsequence matching for one query-sequence alternative."""
         raise NotImplementedError
 

@@ -1,0 +1,172 @@
+"""Query guards and index health tracking.
+
+A :class:`QueryGuard` puts cooperative limits on one query evaluation: a
+wall-clock deadline, a matcher-step budget, a page-read budget, and an
+external cancellation flag.  The matching layer calls :meth:`QueryGuard.step`
+at its loop points (one step per search state expanded and per D/S-Ancestor
+range query issued), so a runaway query — a pathological wildcard pattern, a
+corrupted tree that loops — is interrupted within a bounded amount of work
+rather than running forever.  Guards are single-use per query: the index
+calls :meth:`QueryGuard.start` when evaluation begins.
+
+:class:`IndexHealth` records what the corruption-defense layer observed.
+An index starts ``ok``; the first :class:`~repro.errors.CorruptionError`
+raised while answering a query flips it to ``read-suspect`` and the query
+is re-answered through the docstore-backed reference evaluator (degraded
+mode, see :meth:`XmlIndexBase.query`).  ``repro stats`` surfaces the
+report so an operator knows to run ``repro scrub`` / ``repro salvage``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import (
+    QueryBudgetExceededError,
+    QueryCancelledError,
+    QueryTimeoutError,
+)
+
+__all__ = ["QueryGuard", "IndexHealth", "HealthEvent"]
+
+
+class QueryGuard:
+    """Cooperative deadline / budget / cancellation for one query.
+
+    All limits are optional; a guard with none configured is free to
+    tick.  ``step()`` is called by the evaluation loops; it counts the
+    step and re-checks every limit, raising
+    :class:`~repro.errors.QueryTimeoutError`,
+    :class:`~repro.errors.QueryBudgetExceededError` or
+    :class:`~repro.errors.QueryCancelledError`.  Cancellation is
+    cooperative: :meth:`cancel` may be called from another thread and
+    takes effect at the next tick.
+    """
+
+    def __init__(
+        self,
+        *,
+        deadline_ms: Optional[float] = None,
+        max_steps: Optional[int] = None,
+        max_page_reads: Optional[int] = None,
+    ) -> None:
+        self.deadline_ms = deadline_ms
+        self.max_steps = max_steps
+        self.max_page_reads = max_page_reads
+        self.steps = 0
+        self._cancelled = False
+        self._t0: Optional[float] = None
+        self._page_counter: Optional[Callable[[], int]] = None
+        self._pages0 = 0
+
+    def start(self, page_counter: Optional[Callable[[], int]] = None) -> "QueryGuard":
+        """Begin timing; ``page_counter`` reports cumulative pager reads."""
+        self._t0 = time.monotonic()
+        self.steps = 0
+        self._page_counter = page_counter
+        self._pages0 = page_counter() if page_counter is not None else 0
+        return self
+
+    def cancel(self) -> None:
+        """Request cancellation; the query dies at its next tick."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Milliseconds since :meth:`start` (0.0 before it)."""
+        return 0.0 if self._t0 is None else (time.monotonic() - self._t0) * 1000.0
+
+    @property
+    def page_reads(self) -> int:
+        """Pager reads issued since :meth:`start` (0 without a counter)."""
+        if self._page_counter is None:
+            return 0
+        return self._page_counter() - self._pages0
+
+    def step(self, n: int = 1) -> None:
+        """Count ``n`` units of matcher work and enforce every limit."""
+        self.steps += n
+        self.check()
+
+    def check(self) -> None:
+        """Enforce the limits without consuming a step."""
+        if self._cancelled:
+            raise QueryCancelledError("query cancelled by its guard")
+        if self.deadline_ms is not None:
+            if self._t0 is None:
+                self.start()
+            elapsed = self.elapsed_ms
+            if elapsed > self.deadline_ms:
+                raise QueryTimeoutError(self.deadline_ms, elapsed)
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise QueryBudgetExceededError("matcher-step", self.max_steps, self.steps)
+        if self.max_page_reads is not None and self._page_counter is not None:
+            used = self.page_reads
+            if used > self.max_page_reads:
+                raise QueryBudgetExceededError("page-read", self.max_page_reads, used)
+
+
+@dataclass
+class HealthEvent:
+    """One corruption observation (kept verbatim for the health report)."""
+
+    kind: str  # exception class name, e.g. "CorruptPageError"
+    detail: str  # the exception message
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "detail": self.detail}
+
+
+@dataclass
+class IndexHealth:
+    """Degradation state of one index instance.
+
+    ``status`` is ``"ok"`` until a corruption error surfaces during
+    query evaluation, then ``"read-suspect"``: raw index answers can no
+    longer be trusted and queries are served through the docstore until
+    the index is salvaged.  ``degraded_queries`` counts answers that
+    took the fallback path.
+    """
+
+    status: str = "ok"
+    events: list[HealthEvent] = field(default_factory=list)
+    degraded_queries: int = 0
+
+    _MAX_EVENTS = 32  # keep the report bounded under sustained corruption
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def record_corruption(self, exc: BaseException) -> None:
+        """Mark the index read-suspect because of ``exc``."""
+        self.status = "read-suspect"
+        if len(self.events) < self._MAX_EVENTS:
+            self.events.append(HealthEvent(type(exc).__name__, str(exc)))
+
+    def report(self) -> dict:
+        """JSON-ready health summary (shown by ``repro stats``)."""
+        return {
+            "status": self.status,
+            "degraded_queries": self.degraded_queries,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def summary(self) -> str:
+        if self.ok:
+            return "health: ok"
+        lines = [
+            f"health: {self.status} "
+            f"({len(self.events)} corruption event(s), "
+            f"{self.degraded_queries} degraded quer{'y' if self.degraded_queries == 1 else 'ies'})"
+        ]
+        for event in self.events:
+            lines.append(f"  {event.kind}: {event.detail}")
+        lines.append("  run `repro scrub` to assess and `repro salvage` to rebuild")
+        return "\n".join(lines)

@@ -209,15 +209,20 @@ class SequenceMatcher:
         self.host = host
         self.batched = batched
         self.stats = MatchStats()  # effort of the most recent match
+        self._guard = None  # active QueryGuard while a match runs
 
-    def match(self, query: QuerySequence) -> set[int]:
+    def match(self, query: QuerySequence, guard=None) -> set[int]:
         """All document ids containing the query sequence."""
         results: set[int] = set()
-        for scope in self.final_scopes(query):
+        for scope in self.final_scopes(query, guard):
+            if guard is not None:
+                guard.step()
             results.update(self.host.iter_doc_ids(scope))
+        if guard is not None:
+            guard.check()  # count the reads of the trailing DocId fetches
         return results
 
-    def final_scopes(self, query: QuerySequence) -> list[Scope]:
+    def final_scopes(self, query: QuerySequence, guard=None) -> list[Scope]:
         """Scopes of the nodes matching the query's last item.
 
         This is the matching phase *without* the DocId output phase —
@@ -226,16 +231,22 @@ class SequenceMatcher:
         B+Tree").  ``match`` unions the DocId ranges of these scopes.
         """
         self.stats.reset()
+        self._guard = guard
+        if guard is not None:
+            guard.check()
         postings = getattr(self.host, "postings", None)
         before = (
             (postings.stats.hits, postings.stats.misses)
             if postings is not None
             else None
         )
-        if self.batched:
-            finals = self._final_scopes_batched(query)
-        else:
-            finals = self._final_scopes_recursive(query)
+        try:
+            if self.batched:
+                finals = self._final_scopes_batched(query)
+            else:
+                finals = self._final_scopes_recursive(query)
+        finally:
+            self._guard = None
         if before is not None:
             self.stats.cache_hits = postings.stats.hits - before[0]
             self.stats.cache_misses = postings.stats.misses - before[1]
@@ -246,6 +257,7 @@ class SequenceMatcher:
         """Level-by-level frontier expansion with shared posting fetches."""
         items = query.items
         max_len = self.host.max_prefix_len()
+        guard = self._guard  # hoisted: the per-state tick must stay cheap
         frontier: list[tuple[Scope, Bindings]] = [(self.host.root_scope(), ())]
         for qi in items:
             groups: GroupMemo = {}
@@ -253,6 +265,8 @@ class SequenceMatcher:
             seen: set[tuple[int, Bindings]] = set()
             for scope, bindings in frontier:
                 self.stats.search_states += 1
+                if guard is not None:
+                    guard.step()
                 for child, new_bindings in self._candidates(
                     qi, scope, bindings, max_len, groups
                 ):
@@ -279,6 +293,7 @@ class SequenceMatcher:
         visited: set[tuple[int, int, Bindings]] = set()
         items = query.items
         max_len = self.host.max_prefix_len()
+        guard = self._guard
 
         def search(scope: Scope, i: int, bindings: Bindings) -> None:
             if i == len(items):
@@ -291,6 +306,8 @@ class SequenceMatcher:
                 return
             visited.add(state)
             self.stats.search_states += 1
+            if guard is not None:
+                guard.step()
             qi = items[i]
             for child_scope, new_bindings in self._candidates(qi, scope, bindings, max_len):
                 self.stats.candidates += 1
@@ -310,9 +327,12 @@ class SequenceMatcher:
         groups: Optional[GroupMemo] = None,
     ) -> Iterator[tuple[Scope, Bindings]]:
         leading, tail = resolve_pattern(qi.prefix, bindings)
+        guard = self._guard
         if not tail:
             # fully concrete prefix: a single D-Ancestor key, scope range
             self.stats.range_queries += 1
+            if guard is not None:
+                guard.step()
             for _, child in self._lookup(qi.symbol, len(leading), leading, scope, groups):
                 yield child, bindings
             return
@@ -323,6 +343,8 @@ class SequenceMatcher:
             lengths = range(len(leading) + min_extra, max_len + 1)
         for plen in lengths:
             self.stats.range_queries += 1
+            if guard is not None:
+                guard.step()
             for data_prefix, child in self._lookup(
                 qi.symbol, plen, leading, scope, groups
             ):

@@ -47,11 +47,13 @@ class NaiveIndex(XmlIndexBase):
         self.trie.insert(sequence, doc_id)
         return doc_id
 
-    def match_sequence(self, query_sequence: QuerySequence) -> set[int]:
+    def match_sequence(self, query_sequence: QuerySequence, guard=None) -> set[int]:
         results: set[int] = set()
         items = query_sequence.items
 
         def naive_search(node: TrieNode, i: int, bindings) -> None:
+            if guard is not None:
+                guard.step()
             if i == len(items):
                 results.update(node.doc_ids)
                 for descendant in node.descendants():

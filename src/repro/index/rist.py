@@ -122,9 +122,9 @@ class RistIndex(XmlIndexBase, CombinedTreeHost):
 
     # -- matching -----------------------------------------------------------
 
-    def match_sequence(self, query_sequence: QuerySequence) -> set[int]:
+    def match_sequence(self, query_sequence: QuerySequence, guard=None) -> set[int]:
         self.finalize()
-        return self._matcher.match(query_sequence)
+        return self._matcher.match(query_sequence, guard)
 
     @property
     def match_stats(self):

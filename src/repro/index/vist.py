@@ -311,8 +311,8 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
     # ------------------------------------------------------------------
     # matching
 
-    def match_sequence(self, query_sequence: QuerySequence) -> set[int]:
-        return self._matcher.match(query_sequence)
+    def match_sequence(self, query_sequence: QuerySequence, guard=None) -> set[int]:
+        return self._matcher.match(query_sequence, guard)
 
     @property
     def match_stats(self):

@@ -1,0 +1,391 @@
+"""Offline corruption assessment and repair: ``scrub`` and ``salvage``.
+
+**Scrub** walks every byte of an on-disk index directory without trusting
+any of it: each page slot of the tree file is read raw and its CRC
+trailer recomputed, each docstore record's CRC is verified, and — when
+all checksums are clean — the structural invariant checkers
+(:mod:`repro.testing.invariants`) are run over the opened index.  Scrub
+never mutates the database (it deliberately bypasses the pager/docstore
+classes, whose *open* paths would migrate legacy files in place).
+
+**Salvage** rebuilds the ViST index from the intact document store: the
+stored sequences are re-inserted through :class:`~repro.index.vist.VistIndex`
+into fresh side files (preserving document ids positionally, tombstones
+included), the rebuilt index must pass every invariant checker, and only
+then do the side files atomically replace the damaged originals.  The
+docstore is the source of truth — its records carry their own checksums —
+so salvage refuses to run when the docstore itself is damaged.
+``sources.dat`` (original XML text) is untouched: ids are preserved, so
+it stays aligned.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import CorruptionError, PageError, StorageError
+from repro.storage.checksums import CHECKSUM_SIZE, page_checksum, verify_trailer
+from repro.storage.pager import peek_header, slot_size
+
+__all__ = [
+    "FileScrubReport",
+    "ScrubReport",
+    "SalvageReport",
+    "scrub_page_file",
+    "scrub_record_file",
+    "scrub_db",
+    "salvage_db",
+]
+
+_LEN_FMT = "<I"
+_LEN_SIZE = struct.calcsize(_LEN_FMT)
+_TOMBSTONE = 0xFFFFFFFF
+_DOC_MAGIC = b"ViSTDOC2"
+
+# Files a ViST database directory may contain (see repro.cli.open_index).
+TREE_FILE = "vist.db"
+DOC_FILE = "docs.dat"
+SOURCE_FILE = "sources.dat"
+
+
+@dataclass
+class FileScrubReport:
+    """Checksum walk of one file (page file or record file)."""
+
+    path: str
+    kind: str  # "pages" | "records"
+    checked: int = 0  # page slots / records verified
+    errors: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def fail(self, message: str) -> None:
+        self.errors.append(message)
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.errors)} error(s)"
+        lines = [f"{self.path}: {self.checked} {self.kind} checked, {status}"]
+        lines.extend(f"  {err}" for err in self.errors)
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+@dataclass
+class ScrubReport:
+    """Everything ``repro scrub`` found in one database directory."""
+
+    dbdir: str
+    files: list[FileScrubReport] = field(default_factory=list)
+    invariant_violations: list[str] = field(default_factory=list)
+    invariants_checked: bool = False
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def checksums_ok(self) -> bool:
+        return all(report.ok for report in self.files)
+
+    @property
+    def ok(self) -> bool:
+        return self.checksums_ok and not self.invariant_violations
+
+    def summary(self) -> str:
+        lines = [f"scrub {self.dbdir}:"]
+        for report in self.files:
+            lines.append(report.summary())
+        if self.invariants_checked:
+            if self.invariant_violations:
+                lines.append(f"{len(self.invariant_violations)} invariant violation(s):")
+                lines.extend(f"  {v}" for v in self.invariant_violations)
+            else:
+                lines.append("structural invariants: ok")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        lines.append("scrub result: " + ("clean" if self.ok else "DAMAGED"))
+        return "\n".join(lines)
+
+
+@dataclass
+class SalvageReport:
+    """Outcome of ``repro salvage``: what was rebuilt and from what."""
+
+    dbdir: str
+    documents: int = 0  # live documents re-inserted
+    tombstones: int = 0  # deleted ids preserved positionally
+    replaced: bool = False  # side files promoted over the originals
+    notes: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = [
+            f"salvage {self.dbdir}: rebuilt {self.documents} document(s) "
+            f"(+{self.tombstones} tombstone(s)), "
+            + ("index replaced" if self.replaced else "originals left untouched")
+        ]
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# scrub
+
+
+def scrub_page_file(path: str | os.PathLike) -> FileScrubReport:
+    """Verify the CRC trailer of every page slot in a page file.
+
+    The walk is raw (no pager): a corrupt page is reported and the walk
+    continues, so one report covers *all* damage, not just the first
+    page hit.  Legacy v1 files carry no trailers and are reported as a
+    note instead of being migrated.
+    """
+    path = os.fspath(path)
+    report = FileScrubReport(path=path, kind="pages")
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        report.fail(f"unreadable: {exc}")
+        return report
+    try:
+        page_size, version = peek_header(raw, path)
+    except PageError as exc:
+        report.fail(str(exc))
+        return report
+    if version == 1:
+        report.notes.append(
+            "legacy v1 page file (no checksums); open it once with FilePager "
+            "to migrate, then re-scrub"
+        )
+        return report
+    slot = slot_size(page_size)
+    npages, tail = divmod(len(raw), slot)
+    if tail:
+        report.fail(
+            f"{path}: trailing {tail} byte(s) after page {npages - 1} "
+            f"(file not slot-aligned; truncated write?)"
+        )
+    for page_id in range(npages):
+        offset = page_id * slot
+        payload = raw[offset : offset + page_size]
+        trailer = raw[offset + page_size : offset + slot]
+        ok, stored, computed = verify_trailer(payload, trailer)
+        report.checked += 1
+        if not ok:
+            report.fail(
+                f"page {page_id}: checksum mismatch at offset {offset} "
+                f"(stored 0x{stored:08x}, computed 0x{computed:08x})"
+            )
+    return report
+
+
+def scrub_record_file(path: str | os.PathLike) -> FileScrubReport:
+    """Verify the CRC of every record in a docstore file.
+
+    Structural damage (bad magic, truncated header or payload) ends the
+    walk — record boundaries downstream of it cannot be trusted — but is
+    itself reported, so the file never scrubs clean while damaged.
+    """
+    path = os.fspath(path)
+    report = FileScrubReport(path=path, kind="records")
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        report.fail(f"unreadable: {exc}")
+        return report
+    if len(raw) == 0:
+        return report  # a store that never saw a document
+    if not raw.startswith(_DOC_MAGIC):
+        report.fail(
+            f"{path}: bad docstore magic {raw[:len(_DOC_MAGIC)]!r} "
+            "(legacy v1 file or corrupt header)"
+        )
+        return report
+    pos = len(_DOC_MAGIC)
+    doc_id = 0
+    while pos < len(raw):
+        header = raw[pos : pos + 2 * _LEN_SIZE]
+        if len(header) != 2 * _LEN_SIZE:
+            report.fail(f"record {doc_id}: truncated header at offset {pos}")
+            return report
+        length, second = struct.unpack("<2I", header)
+        body_start = pos + 2 * _LEN_SIZE
+        if length == _TOMBSTONE:
+            pos = body_start + second
+            if pos > len(raw):
+                report.fail(f"record {doc_id}: truncated tombstone at offset {body_start}")
+                return report
+        else:
+            payload = raw[body_start : body_start + length]
+            if len(payload) != length:
+                report.fail(
+                    f"record {doc_id}: truncated payload at offset {body_start} "
+                    f"(wanted {length} bytes, got {len(payload)})"
+                )
+                return report
+            computed = page_checksum(payload)
+            report.checked += 1
+            if second != computed:
+                report.fail(
+                    f"record {doc_id}: checksum mismatch at offset {pos} "
+                    f"(stored 0x{second:08x}, computed 0x{computed:08x})"
+                )
+            pos = body_start + length
+        doc_id += 1
+    return report
+
+
+def scrub_db(dbdir: str | os.PathLike, *, invariants: bool = True) -> ScrubReport:
+    """Scrub every file of a database directory; optionally check invariants.
+
+    The invariant pass opens the index normally and is only attempted
+    when every checksum verified — structural checkers walking corrupt
+    pages would drown the real signal (and the open itself may fail).
+    """
+    dbdir = Path(os.fspath(dbdir))
+    report = ScrubReport(dbdir=str(dbdir))
+    tree_path = dbdir / TREE_FILE
+    if tree_path.exists():
+        report.files.append(scrub_page_file(tree_path))
+    else:
+        report.notes.append(f"no {TREE_FILE} (nothing indexed yet?)")
+    wal_path = dbdir / (TREE_FILE + ".wal")
+    if wal_path.exists():
+        report.notes.append(
+            f"{wal_path.name} present: an interrupted commit will replay or "
+            "be discarded on next open"
+        )
+    for name in (DOC_FILE, SOURCE_FILE):
+        record_path = dbdir / name
+        if record_path.exists():
+            report.files.append(scrub_record_file(record_path))
+    if invariants and tree_path.exists():
+        if not report.checksums_ok:
+            report.notes.append("invariant check skipped: checksum errors above")
+        else:
+            report.invariants_checked = True
+            report.invariant_violations = _check_invariants(dbdir)
+    return report
+
+
+def _check_invariants(dbdir: Path) -> list[str]:
+    from repro.cli import open_index
+    from repro.testing.invariants import check_index
+
+    try:
+        index = open_index(dbdir)
+    except (StorageError, OSError) as exc:
+        return [f"index failed to open: {exc}"]
+    try:
+        return [
+            violation
+            for checker in check_index(index)
+            for violation in checker.violations
+        ]
+    except (StorageError, OSError) as exc:
+        return [f"invariant walk aborted: {exc}"]
+    finally:
+        _close_quietly(index)
+
+
+def _close_quietly(index) -> None:
+    for closer in (
+        lambda: index.close(),
+        lambda: index.docstore.close(),
+        lambda: (index.source_store.close() if index.source_store else None),
+    ):
+        try:
+            closer()
+        except (StorageError, OSError):
+            pass
+
+
+# ---------------------------------------------------------------------------
+# salvage
+
+
+def salvage_db(dbdir: str | os.PathLike) -> SalvageReport:
+    """Rebuild the ViST index of ``dbdir`` from its document store.
+
+    Preconditions: ``docs.dat`` must scrub clean (it is the source of
+    truth).  The rebuild re-inserts every stored sequence through
+    :class:`~repro.index.vist.VistIndex` into side files, preserving
+    document ids positionally (tombstoned ids get a placeholder
+    add+remove), asserts every structural invariant on the result, and
+    atomically promotes the side files.  A stale WAL journal of the old
+    index is removed — it describes pages that no longer exist.
+
+    Raises :class:`~repro.errors.CorruptionError` when the docstore is
+    damaged, and whatever :func:`repro.testing.invariants.assert_invariants`
+    raises when the rebuilt index is not clean (the originals are left
+    untouched in both cases).
+    """
+    from repro.cli import load_schema
+    from repro.index.vist import VistIndex
+    from repro.sequence.transform import SequenceEncoder
+    from repro.storage.cache import BufferPool
+    from repro.storage.docstore import FileDocStore
+    from repro.storage.pager import FilePager
+    from repro.testing.invariants import assert_invariants
+
+    dbdir = Path(os.fspath(dbdir))
+    report = SalvageReport(dbdir=str(dbdir))
+    doc_path = dbdir / DOC_FILE
+    if not doc_path.exists():
+        raise StorageError(f"{doc_path}: no document store to salvage from")
+    doc_scrub = scrub_record_file(doc_path)
+    if not doc_scrub.ok:
+        raise CorruptionError(
+            f"{doc_path} is damaged; salvage needs an intact document store:\n"
+            + "\n".join(doc_scrub.errors)
+        )
+
+    tree_side = dbdir / (TREE_FILE + ".salvage")
+    doc_side = dbdir / (DOC_FILE + ".salvage")
+    for side in (tree_side, doc_side):
+        if side.exists():
+            side.unlink()  # leftovers of an interrupted salvage
+
+    old_docs = FileDocStore(doc_path)
+    rebuilt = VistIndex(
+        SequenceEncoder(schema=load_schema(dbdir)),
+        docstore=FileDocStore(doc_side),
+        pager=BufferPool(FilePager(tree_side), capacity=512),
+    )
+    try:
+        for doc_id in range(old_docs.id_bound):
+            if doc_id in old_docs:
+                # _parse_payload strips the old insert-path labels; the
+                # re-insert assigns fresh ones and persists a new payload
+                sequence, _ = rebuilt._parse_payload(old_docs.get(doc_id))
+                new_id = rebuilt.add_sequence(sequence)
+                report.documents += 1
+            else:
+                # keep ids positional: burn the id with an empty record
+                new_id = rebuilt.docstore.add(b"")
+                rebuilt.docstore.remove(new_id)
+                report.tombstones += 1
+            if new_id != doc_id:
+                raise StorageError(
+                    f"salvage id drift: stored doc {doc_id} re-inserted as "
+                    f"{new_id}; aborting before replacing anything"
+                )
+        assert_invariants(rebuilt)
+        rebuilt.flush()
+    finally:
+        _close_quietly(rebuilt)
+        old_docs.close()
+
+    os.replace(tree_side, dbdir / TREE_FILE)
+    os.replace(doc_side, doc_path)
+    wal_path = dbdir / (TREE_FILE + ".wal")
+    if wal_path.exists():
+        wal_path.unlink()
+        report.notes.append("removed stale WAL journal of the damaged index")
+    report.replaced = True
+    return report

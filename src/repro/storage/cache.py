@@ -53,6 +53,12 @@ class BufferPool(Pager):
         self._dirty: set[int] = set()
         self.stats = CacheStats()
         self.page_size = base.page_size
+        self.read_count = 0
+
+    @property
+    def base(self) -> Pager:
+        """The wrapped pager (query guards count its physical reads)."""
+        return self._base
 
     # -- Pager interface -------------------------------------------------
 
@@ -62,12 +68,16 @@ class BufferPool(Pager):
         return pid
 
     def read(self, page_id: int) -> bytes:
+        self.read_count += 1
         cached = self._pages.get(page_id)
         if cached is not None:
             self._pages.move_to_end(page_id)
             self.stats.hits += 1
             return cached
         self.stats.misses += 1
+        # Checksum verification rides this miss path: the base pager
+        # raises CorruptPageError *before* _install runs, so a frame
+        # that failed its verify is never cached (and never re-served).
         data = self._base.read(page_id)
         self._install(page_id, data, dirty=False)
         return data

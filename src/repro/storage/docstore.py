@@ -6,10 +6,24 @@ post-verification filter (:mod:`repro.index.verification`) and for
 deletion (re-deriving the sequence of the document being removed).
 
 :class:`DocStore` assigns dense integer ids and keeps payloads either in
-memory or in an append-only record file (``[len:u32][payload]`` records,
-with a rebuilt offset table on open).  Payloads are opaque bytes; the
-index layer stores the document's structure-encoded sequence plus its
-original text through :mod:`repro.sequence.encoding` codecs.
+memory or in an append-only record file with a rebuilt offset table on
+open.  Payloads are opaque bytes; the index layer stores the document's
+structure-encoded sequence plus its original text through
+:mod:`repro.sequence.encoding` codecs.
+
+On-disk format (v2)
+-------------------
+Since format v2 the file opens with an 8-byte magic (``ViSTDOC2``) and
+every record is ``[len:u32][crc:u32][payload]`` — the CRC
+(:mod:`repro.storage.checksums`) covers the payload and is verified on
+every :meth:`FileDocStore.get`, raising
+:class:`~repro.errors.CorruptRecordError` on mismatch.  The docstore is
+the salvage path's source of truth, so it must be able to *prove* its
+records are intact.  Tombstoning a record rewrites its length word as
+the tombstone marker and its CRC word as the relocated payload length
+(``[0xFFFFFFFF][len]``), so any record — including an empty one — can be
+deleted in place.  Legacy v1 files (no magic, ``[len][payload]``
+records) are migrated to v2 on open via an atomic side-file rewrite.
 """
 
 from __future__ import annotations
@@ -18,13 +32,16 @@ import os
 import struct
 from typing import Iterator, Optional
 
-from repro.errors import StorageError
+from repro.errors import CorruptRecordError, StorageError
+from repro.storage.checksums import page_checksum
 
 _LEN_FMT = "<I"
 _LEN_SIZE = struct.calcsize(_LEN_FMT)
 _TOMBSTONE = 0xFFFFFFFF
+_DOC_MAGIC = b"ViSTDOC2"
+_RECORD_HEADER = 2 * _LEN_SIZE  # length word + crc (or relocated length)
 
-__all__ = ["DocStore", "MemoryDocStore", "FileDocStore"]
+__all__ = ["DocStore", "MemoryDocStore", "FileDocStore", "migrate_v1_docstore"]
 
 
 class DocStore:
@@ -50,6 +67,11 @@ class DocStore:
 
     def ids(self) -> Iterator[int]:
         """Iterate live document ids in ascending order."""
+        raise NotImplementedError
+
+    @property
+    def id_bound(self) -> int:
+        """One past the highest id ever assigned (live or tombstoned)."""
         raise NotImplementedError
 
     def close(self) -> None:
@@ -95,47 +117,97 @@ class MemoryDocStore(DocStore):
     def ids(self) -> Iterator[int]:
         return iter(sorted(self._docs))
 
+    @property
+    def id_bound(self) -> int:
+        return self._next_id
+
+
+def migrate_v1_docstore(path: str) -> None:
+    """Rewrite a legacy v1 record file into the checksummed v2 format.
+
+    v1 live records are ``[len][payload]``; v1 tombstones are
+    ``[0xFFFFFFFF][relocated_len][dead bytes]``.  The rewrite preserves
+    ids positionally and goes through a side file + ``os.replace``.
+    """
+    tmp_path = path + ".v2migrate"
+    size = os.path.getsize(path)
+    with open(path, "rb") as src, open(tmp_path, "wb") as out:
+        out.write(_DOC_MAGIC)
+        pos = 0
+        while pos < size:
+            src.seek(pos)
+            header = src.read(_LEN_SIZE)
+            if len(header) != _LEN_SIZE:
+                raise StorageError(f"{path}: truncated record header at {pos}")
+            (length,) = struct.unpack(_LEN_FMT, header)
+            if length == _TOMBSTONE:
+                extra = src.read(_LEN_SIZE)
+                if len(extra) != _LEN_SIZE:
+                    raise StorageError(f"{path}: truncated tombstone at {pos}")
+                (real_len,) = struct.unpack(_LEN_FMT, extra)
+                # v2 tombstone: marker + relocated length + dead bytes
+                out.write(struct.pack(_LEN_FMT, _TOMBSTONE))
+                out.write(struct.pack(_LEN_FMT, real_len))
+                out.write(b"\x00" * real_len)
+                pos += 2 * _LEN_SIZE + real_len
+            else:
+                payload = src.read(length)
+                if len(payload) != length:
+                    raise StorageError(f"{path}: truncated payload at {pos}")
+                out.write(struct.pack(_LEN_FMT, length))
+                out.write(struct.pack(_LEN_FMT, page_checksum(payload)))
+                out.write(payload)
+                pos += _LEN_SIZE + length
+        out.flush()
+        os.fsync(out.fileno())
+    os.replace(tmp_path, path)
+
 
 class FileDocStore(DocStore):
     """Append-only record file with an in-memory offset table.
 
-    Deleting rewrites the record's length word as a tombstone marker; the
-    payload bytes stay in the file (compaction is out of scope — the paper
-    never measures document-store reclamation).
+    Deleting rewrites the record's length word as a tombstone marker and
+    its CRC word as the relocated payload length; the payload bytes stay
+    in the file (bounded waste; :meth:`compact` reclaims them).
     """
 
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = os.fspath(path)
         existing = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        if existing:
+            with open(self.path, "rb") as fh:
+                magic = fh.read(len(_DOC_MAGIC))
+            if magic != _DOC_MAGIC:
+                migrate_v1_docstore(self.path)
         self._file = open(self.path, "r+b" if existing else "w+b")
         self._offsets: list[Optional[int]] = []
         self._live = 0
         self._closed = False
         if existing:
             self._rebuild_offsets()
+        else:
+            self._file.write(_DOC_MAGIC)
 
     def _rebuild_offsets(self) -> None:
         self._file.seek(0, os.SEEK_END)
         size = self._file.tell()
         self._file.seek(0)
-        pos = 0
+        if self._file.read(len(_DOC_MAGIC)) != _DOC_MAGIC:
+            raise StorageError(f"{self.path}: bad docstore magic")
+        pos = len(_DOC_MAGIC)
         while pos < size:
-            header = self._file.read(_LEN_SIZE)
-            if len(header) != _LEN_SIZE:
+            header = self._file.read(_RECORD_HEADER)
+            if len(header) != _RECORD_HEADER:
                 raise StorageError(f"{self.path}: truncated record header at {pos}")
-            (length,) = struct.unpack(_LEN_FMT, header)
+            length, second = struct.unpack("<2I", header)
             if length == _TOMBSTONE:
-                # Tombstoned record: real length follows so we can skip it.
-                extra = self._file.read(_LEN_SIZE)
-                if len(extra) != _LEN_SIZE:
-                    raise StorageError(f"{self.path}: truncated tombstone at {pos}")
-                (real_len,) = struct.unpack(_LEN_FMT, extra)
+                # second word is the relocated payload length
                 self._offsets.append(None)
-                pos += 2 * _LEN_SIZE + real_len
+                pos += _RECORD_HEADER + second
             else:
                 self._offsets.append(pos)
                 self._live += 1
-                pos += _LEN_SIZE + length
+                pos += _RECORD_HEADER + length
             self._file.seek(pos)
         if pos != size:
             raise StorageError(
@@ -148,6 +220,7 @@ class FileDocStore(DocStore):
         self._file.seek(0, os.SEEK_END)
         pos = self._file.tell()
         self._file.write(struct.pack(_LEN_FMT, len(payload)))
+        self._file.write(struct.pack(_LEN_FMT, page_checksum(payload)))
         self._file.write(payload)
         doc_id = len(self._offsets)
         self._offsets.append(pos)
@@ -158,12 +231,18 @@ class FileDocStore(DocStore):
         self._ensure_open()
         offset = self._offset(doc_id)
         self._file.seek(offset)
-        (length,) = struct.unpack(_LEN_FMT, self._file.read(_LEN_SIZE))
+        length, stored = struct.unpack("<2I", self._file.read(_RECORD_HEADER))
         if length == _TOMBSTONE:
             raise StorageError(f"document {doc_id} was deleted")
         payload = self._file.read(length)
         if len(payload) != length:
-            raise StorageError(f"{self.path}: truncated payload for doc {doc_id}")
+            raise StorageError(
+                f"{self.path}: truncated payload for doc {doc_id} at offset "
+                f"{offset} (wanted {length} bytes, got {len(payload)})"
+            )
+        computed = page_checksum(payload)
+        if stored != computed:
+            raise CorruptRecordError(self.path, doc_id, stored, computed, offset)
         return payload
 
     def remove(self, doc_id: int) -> None:
@@ -173,17 +252,9 @@ class FileDocStore(DocStore):
         (length,) = struct.unpack(_LEN_FMT, self._file.read(_LEN_SIZE))
         if length == _TOMBSTONE:
             raise StorageError(f"document {doc_id} already deleted")
-        if length < _LEN_SIZE:
-            # The record body is too small to hold the relocated length
-            # word; pad semantics: tombstone + real length need 8 bytes, and
-            # every record reserves at least the header, so rewrite in
-            # place only when the body fits the length word.
-            raise StorageError(
-                f"document {doc_id} is too small ({length} bytes) to tombstone"
-            )
         self._file.seek(offset)
         self._file.write(struct.pack(_LEN_FMT, _TOMBSTONE))
-        self._file.write(struct.pack(_LEN_FMT, length - _LEN_SIZE))
+        self._file.write(struct.pack(_LEN_FMT, length))
         self._offsets[doc_id] = None
         self._live -= 1
 
@@ -195,6 +266,10 @@ class FileDocStore(DocStore):
 
     def ids(self) -> Iterator[int]:
         return (i for i, off in enumerate(self._offsets) if off is not None)
+
+    @property
+    def id_bound(self) -> int:
+        return len(self._offsets)
 
     def compact(self) -> int:
         """Reclaim tombstoned payload space; returns bytes saved.
@@ -208,6 +283,7 @@ class FileDocStore(DocStore):
         tmp_path = self.path + ".compact"
         new_offsets: list[Optional[int]] = []
         with open(tmp_path, "w+b") as out:
+            out.write(_DOC_MAGIC)
             for doc_id, offset in enumerate(self._offsets):
                 pos = out.tell()
                 if offset is None:
@@ -217,6 +293,7 @@ class FileDocStore(DocStore):
                 else:
                     payload = self.get(doc_id)
                     out.write(struct.pack(_LEN_FMT, len(payload)))
+                    out.write(struct.pack(_LEN_FMT, page_checksum(payload)))
                     out.write(payload)
                     new_offsets.append(pos)
             new_size = out.tell()

@@ -13,60 +13,189 @@ entry count).  Two implementations are provided:
 
 The pager deliberately knows nothing about B+Tree node layout; it deals in
 opaque ``bytes`` of exactly ``page_size``.
+
+On-disk format (v2)
+-------------------
+Since format v2 (magic ``ViSTPGR2``) every on-disk page slot is
+``page_size + 4`` bytes: the logical page payload followed by a CRC
+trailer (:mod:`repro.storage.checksums`).  The trailer is stamped on
+every write and verified on every read; a mismatch raises
+:class:`~repro.errors.CorruptPageError` with the file path, page id,
+byte offset and both checksums, so a single flipped bit surfaces at the
+first touch instead of as a garbled B+Tree node (or a silently wrong
+answer).  The *logical* ``page_size`` visible to clients is unchanged —
+checksums are transparent to the B+Tree.
+
+Legacy v1 files (magic ``ViSTPGR1``, no trailers) are migrated in place
+on open: the file is rewritten slot-by-slot into a side file with fresh
+trailers and atomically swapped in (``os.replace``), so the upgrade is
+crash-safe and invisible to callers.
+
+Transient faults
+----------------
+Raw file reads retry with exponential backoff on
+:class:`~repro.errors.TransientIOError` / ``OSError`` (``io_attempts``
+tries), so a flaky-disk blip is distinguished from persistent damage: a
+fault that survives every attempt escapes as-is, one that clears mid-way
+is invisible.  Fault harnesses inject through the overridable
+:meth:`FilePager._read_at` / :meth:`FilePager._write_at` primitives.
 """
 
 from __future__ import annotations
 
 import os
 import struct
+import time
 from typing import Optional
 
-from repro.errors import PageError
+from repro.errors import CorruptPageError, PageError, TransientIOError
+from repro.storage.checksums import CHECKSUM_SIZE, pack_trailer, verify_trailer
 
 DEFAULT_PAGE_SIZE = 4096
+PAGE_FORMAT_VERSION = 2
 
-_MAGIC = b"ViSTPGR1"
+_MAGIC_V1 = b"ViSTPGR1"
+_MAGIC_V2 = b"ViSTPGR2"
 _NIL = 0  # page id 0 is the header, so 0 doubles as the nil pointer
 _HEADER_FMT = "<8sIQQI"  # magic, page_size, npages, freelist head, meta length
 _HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+
+_DEFAULT_IO_ATTEMPTS = 3
+_RETRY_BASE_DELAY = 0.001  # seconds; doubles per attempt
 
 __all__ = [
     "Pager",
     "MemoryPager",
     "FilePager",
     "DEFAULT_PAGE_SIZE",
+    "PAGE_FORMAT_VERSION",
     "pack_header_page",
     "unpack_header_page",
+    "peek_header",
+    "slot_size",
+    "page_offset",
+    "migrate_v1_page_file",
 ]
+
+
+def slot_size(page_size: int) -> int:
+    """On-disk bytes per page slot: the payload plus its CRC trailer."""
+    return page_size + CHECKSUM_SIZE
+
+
+def page_offset(page_id: int, page_size: int) -> int:
+    """Byte offset of page ``page_id``'s slot in a v2 page file."""
+    return page_id * slot_size(page_size)
 
 
 def pack_header_page(
     page_size: int, npages: int, freelist: int, meta: bytes
 ) -> bytes:
-    """Serialize a page-file header page (shared by File- and WalPager)."""
-    header = struct.pack(_HEADER_FMT, _MAGIC, page_size, npages, freelist, len(meta))
+    """Serialize a v2 header-page *payload* (shared by File- and WalPager).
+
+    Returns exactly ``page_size`` bytes; the caller appends the CRC
+    trailer when writing the slot to disk.
+    """
+    header = struct.pack(_HEADER_FMT, _MAGIC_V2, page_size, npages, freelist, len(meta))
     blob = header + meta
     if len(blob) > page_size:
-        raise PageError("metadata blob does not fit in the header page")
+        raise PageError(
+            f"metadata blob of {len(meta)} bytes does not fit in the "
+            f"{page_size}-byte header page"
+        )
     return blob + b"\x00" * (page_size - len(blob))
 
 
-def unpack_header_page(raw: bytes, path: str) -> tuple[int, int, int, bytes]:
-    """Parse a header page; returns ``(page_size, npages, freelist, meta)``."""
+def unpack_header_page(raw: bytes, path: str) -> tuple[int, int, int, bytes, int]:
+    """Parse a header-page payload.
+
+    Returns ``(page_size, npages, freelist, meta, version)`` where
+    ``version`` is 1 for legacy trailer-less files and 2 for the current
+    checksummed format.  ``raw`` must hold at least the fixed header
+    fields; the meta blob is sliced out of whatever follows.
+    """
     if len(raw) < _HEADER_SIZE:
-        raise PageError(f"{path}: file too small to hold a pager header")
+        raise PageError(
+            f"{path}: file too small to hold a pager header "
+            f"({len(raw)} < {_HEADER_SIZE} bytes)"
+        )
     magic, page_size, npages, freelist, meta_len = struct.unpack_from(_HEADER_FMT, raw)
-    if magic != _MAGIC:
-        raise PageError(f"{path}: bad magic, not a repro page file")
+    if magic == _MAGIC_V2:
+        version = 2
+    elif magic == _MAGIC_V1:
+        version = 1
+    else:
+        raise PageError(f"{path}: bad magic {magic!r}, not a repro page file")
     if _HEADER_SIZE + meta_len > page_size:
-        raise PageError(f"{path}: corrupt header (meta length {meta_len})")
-    return page_size, npages, freelist, raw[_HEADER_SIZE : _HEADER_SIZE + meta_len]
+        raise PageError(
+            f"{path}: corrupt header (meta length {meta_len} exceeds page "
+            f"size {page_size})"
+        )
+    if _HEADER_SIZE + meta_len > len(raw):
+        raise PageError(
+            f"{path}: truncated header (need {_HEADER_SIZE + meta_len} bytes, "
+            f"have {len(raw)})"
+        )
+    return page_size, npages, freelist, raw[_HEADER_SIZE : _HEADER_SIZE + meta_len], version
+
+
+def peek_header(raw: bytes, path: str) -> tuple[int, int]:
+    """Parse just ``(page_size, version)`` from the fixed header fields.
+
+    Unlike :func:`unpack_header_page` this needs only ``_HEADER_SIZE``
+    bytes — enough to decide the slot size and format before reading the
+    full header slot.
+    """
+    if len(raw) < _HEADER_SIZE:
+        raise PageError(
+            f"{path}: file too small to hold a pager header "
+            f"({len(raw)} < {_HEADER_SIZE} bytes)"
+        )
+    magic, page_size = struct.unpack_from("<8sI", raw)
+    if magic == _MAGIC_V2:
+        return page_size, 2
+    if magic == _MAGIC_V1:
+        return page_size, 1
+    raise PageError(f"{path}: bad magic {magic!r}, not a repro page file")
+
+
+def migrate_v1_page_file(path: str) -> None:
+    """Rewrite a legacy v1 page file into the checksummed v2 format.
+
+    The rewrite goes to a side file which atomically replaces the
+    original, so a crash mid-migration leaves the v1 file intact.
+    """
+    tmp_path = path + ".v2migrate"
+    with open(path, "rb") as src:
+        head = src.read(_HEADER_SIZE)
+        page_size, version = peek_header(head, path)
+        if version != 1:
+            raise PageError(f"{path}: not a v1 page file (version {version})")
+        src.seek(0)
+        header_raw = src.read(page_size)
+        page_size, npages, freelist, meta, _ = unpack_header_page(header_raw, path)
+        with open(tmp_path, "wb") as out:
+            payload = pack_header_page(page_size, npages, freelist, meta)
+            out.write(payload + pack_trailer(payload))
+            for pid in range(1, npages + 1):
+                src.seek(pid * page_size)
+                data = src.read(page_size)
+                if len(data) != page_size:
+                    raise PageError(
+                        f"{path}: short read migrating page {pid} at offset "
+                        f"{pid * page_size} (wanted {page_size}, got {len(data)})"
+                    )
+                out.write(data + pack_trailer(data))
+            out.flush()
+            os.fsync(out.fileno())
+    os.replace(tmp_path, path)
 
 
 class Pager:
     """Abstract page store.  Concrete pagers implement the I/O primitives."""
 
     page_size: int
+    read_count: int = 0  # cumulative read() calls, for query page budgets
 
     def allocate(self) -> int:
         """Return the id of a fresh (or recycled) zeroed page."""
@@ -126,6 +255,7 @@ class MemoryPager(Pager):
         if page_size < 128:
             raise PageError(f"page size {page_size} is too small (min 128)")
         self.page_size = page_size
+        self.read_count = 0
         self._pages: dict[int, bytes] = {}
         self._free: list[int] = []
         self._next_id = 1
@@ -142,23 +272,32 @@ class MemoryPager(Pager):
         self._pages[pid] = b"\x00" * self.page_size
         return pid
 
+    def _check_live(self, page_id: int) -> None:
+        if page_id in self._pages:
+            return
+        if page_id in self._free:
+            raise PageError(f"page {page_id} is freed")
+        raise PageError(f"page {page_id} out of range (1..{self._next_id - 1})")
+
     def read(self, page_id: int) -> bytes:
-        self._ensure_open()
+        # hot path: one dict hit; misses fall through to diagnosis
+        self.read_count += 1
         try:
             return self._pages[page_id]
         except KeyError:
-            raise PageError(f"page {page_id} does not exist") from None
+            self._ensure_open()
+            self._check_live(page_id)
+            raise  # unreachable: _check_live always raises here
 
     def write(self, page_id: int, data: bytes) -> None:
-        self._ensure_open()
         if page_id not in self._pages:
-            raise PageError(f"page {page_id} does not exist")
+            self._ensure_open()
+            self._check_live(page_id)
         self._pages[page_id] = self._check_data(data)
 
     def free(self, page_id: int) -> None:
         self._ensure_open()
-        if page_id not in self._pages:
-            raise PageError(f"page {page_id} does not exist")
+        self._check_live(page_id)
         del self._pages[page_id]
         self._free.append(page_id)
 
@@ -181,6 +320,7 @@ class MemoryPager(Pager):
 
     def close(self) -> None:
         self._closed = True
+        self._pages = {}  # closed reads must miss the hot path and raise
 
     def _ensure_open(self) -> None:
         if self._closed:
@@ -190,21 +330,40 @@ class MemoryPager(Pager):
 class FilePager(Pager):
     """Single-file pager with a persistent free list and metadata blob.
 
-    The file layout is ``[header page][data page 1][data page 2]...``.  The
-    user metadata blob is stored inside the header page after the fixed
-    header fields, so it is limited to ``page_size - 32`` bytes — ample for
-    a B+Tree root pointer and counters.
+    The file layout is ``[header slot][data slot 1][data slot 2]...``
+    where each slot is ``page_size + 4`` bytes (payload + CRC trailer).
+    The user metadata blob is stored inside the header page after the
+    fixed header fields, so it is limited to ``page_size - 32`` bytes —
+    ample for a B+Tree root pointer and counters.
+
+    The free list is walked once on open so reads and writes of freed
+    pages are rejected (use-after-free detection), matching
+    :class:`MemoryPager` semantics.
     """
 
-    def __init__(self, path: str | os.PathLike, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        *,
+        io_attempts: int = _DEFAULT_IO_ATTEMPTS,
+    ) -> None:
         if page_size < 128:
             raise PageError(f"page size {page_size} is too small (min 128)")
+        if io_attempts < 1:
+            raise PageError(f"io_attempts must be >= 1, got {io_attempts}")
         self.path = os.fspath(path)
+        self.read_count = 0
+        self._io_attempts = io_attempts
         existing = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        if existing and self._peek_version() == 1:
+            migrate_v1_page_file(self.path)
         self._file = open(self.path, "r+b" if existing else "w+b")
         self._closed = False
+        self._freed: set[int] = set()
         if existing:
-            self._load_header(page_size)
+            self._load_header()
+            self._walk_freelist()
         else:
             self.page_size = page_size
             self._npages = 0
@@ -212,64 +371,143 @@ class FilePager(Pager):
             self._meta = b""
             self._write_header()
 
-    def _load_header(self, requested_page_size: int) -> None:
-        self._file.seek(0)
-        raw = self._file.read(requested_page_size)
-        page_size, npages, freelist, meta = unpack_header_page(raw, self.path)
+    def _peek_version(self) -> int:
+        with open(self.path, "rb") as fh:
+            head = fh.read(_HEADER_SIZE)
+        return peek_header(head, self.path)[1]
+
+    def _load_header(self) -> None:
+        head = self._read_at(0, _HEADER_SIZE)
+        page_size = peek_header(head, self.path)[0]
         self.page_size = page_size
-        if len(raw) < page_size:
-            self._file.seek(0)
-            raw = self._file.read(page_size)
-            page_size, npages, freelist, meta = unpack_header_page(raw, self.path)
-        self._npages = npages
-        self._freelist = freelist
-        self._meta = meta
+        raw = self._read_at(0, slot_size(page_size))
+        if len(raw) < slot_size(page_size):
+            raise PageError(
+                f"{self.path}: truncated header slot (wanted "
+                f"{slot_size(page_size)} bytes, got {len(raw)})"
+            )
+        payload, trailer = raw[:page_size], raw[page_size:]
+        ok, stored, computed = verify_trailer(payload, trailer)
+        if not ok:
+            raise CorruptPageError(self.path, 0, stored, computed, offset=0)
+        _, self._npages, self._freelist, self._meta, _ = unpack_header_page(
+            payload, self.path
+        )
+
+    def _walk_freelist(self) -> None:
+        """Materialise the free set from the on-disk freelist chain."""
+        pid = self._freelist
+        while pid != _NIL:
+            if pid < 1 or pid > self._npages or pid in self._freed:
+                raise PageError(
+                    f"{self.path}: corrupt freelist chain at page {pid} "
+                    f"(range 1..{self._npages}, {len(self._freed)} walked)"
+                )
+            self._freed.add(pid)
+            (pid,) = struct.unpack_from("<Q", self._read_slot(pid))
+        if len(self._freed) > self._npages:
+            raise PageError(f"{self.path}: freelist longer than the file")
 
     def _write_header(self) -> None:
-        blob = pack_header_page(self.page_size, self._npages, self._freelist, self._meta)
-        self._file.seek(0)
-        self._file.write(blob)
+        payload = pack_header_page(self.page_size, self._npages, self._freelist, self._meta)
+        self._write_at(0, payload + pack_trailer(payload))
 
     def _offset(self, page_id: int) -> int:
         if page_id < 1 or page_id > self._npages:
-            raise PageError(f"page {page_id} out of range (1..{self._npages})")
-        return page_id * self.page_size
+            raise PageError(
+                f"{self.path}: page {page_id} out of range (1..{self._npages})"
+            )
+        return page_offset(page_id, self.page_size)
+
+    # -- raw I/O primitives (overridden by fault-injection harnesses) ----
+
+    def _read_at(self, offset: int, length: int) -> bytes:
+        self._file.seek(offset)
+        return self._file.read(length)
+
+    def _write_at(self, offset: int, data: bytes) -> None:
+        self._file.seek(offset)
+        self._file.write(data)
+
+    def _read_at_retrying(self, offset: int, length: int) -> bytes:
+        """``_read_at`` with exponential backoff over transient faults."""
+        last: Optional[BaseException] = None
+        for attempt in range(self._io_attempts):
+            try:
+                return self._read_at(offset, length)
+            except (TransientIOError, OSError) as exc:
+                last = exc
+                if attempt + 1 < self._io_attempts:
+                    time.sleep(_RETRY_BASE_DELAY * (2**attempt))
+        if isinstance(last, TransientIOError):
+            raise last  # persisted through every retry: genuinely down
+        raise PageError(
+            f"{self.path}: I/O error at offset {offset} after "
+            f"{self._io_attempts} attempt(s): {last}"
+        ) from last
+
+    def _read_slot(self, page_id: int) -> bytes:
+        """Read + checksum-verify one page slot; returns the payload."""
+        offset = self._offset(page_id)
+        raw = self._read_at_retrying(offset, slot_size(self.page_size))
+        if len(raw) != slot_size(self.page_size):
+            raise PageError(
+                f"{self.path}: short read on page {page_id} at offset {offset} "
+                f"(wanted {slot_size(self.page_size)} bytes, got {len(raw)})"
+            )
+        payload, trailer = raw[: self.page_size], raw[self.page_size :]
+        ok, stored, computed = verify_trailer(payload, trailer)
+        if not ok:
+            raise CorruptPageError(self.path, page_id, stored, computed, offset=offset)
+        return payload
+
+    def _write_slot(self, page_id: int, payload: bytes) -> None:
+        self._write_at(self._offset(page_id), payload + pack_trailer(payload))
+
+    # -- Pager interface -------------------------------------------------
 
     def allocate(self) -> int:
         self._ensure_open()
         if self._freelist != _NIL:
             pid = self._freelist
-            raw = self.read(pid)
+            raw = self._read_slot(pid)
             (self._freelist,) = struct.unpack_from("<Q", raw)
-            self.write(pid, b"\x00" * self.page_size)
+            self._freed.discard(pid)
+            self._write_slot(pid, b"\x00" * self.page_size)
             self._write_header()
             return pid
         self._npages += 1
         pid = self._npages
-        self._file.seek(pid * self.page_size)
-        self._file.write(b"\x00" * self.page_size)
+        self._write_slot(pid, b"\x00" * self.page_size)
         self._write_header()
         return pid
 
+    def _check_live(self, page_id: int) -> None:
+        self._offset(page_id)  # raises out-of-range with context
+        if page_id in self._freed:
+            raise PageError(f"{self.path}: page {page_id} is freed")
+
     def read(self, page_id: int) -> bytes:
         self._ensure_open()
-        self._file.seek(self._offset(page_id))
-        data = self._file.read(self.page_size)
-        if len(data) != self.page_size:
-            raise PageError(f"short read on page {page_id}")
-        return data
+        self.read_count += 1
+        self._check_live(page_id)
+        return self._read_slot(page_id)
 
     def write(self, page_id: int, data: bytes) -> None:
         self._ensure_open()
-        data = self._check_data(data)
-        self._file.seek(self._offset(page_id))
-        self._file.write(data)
+        self._check_live(page_id)
+        self._write_slot(page_id, self._check_data(data))
 
     def free(self, page_id: int) -> None:
         self._ensure_open()
-        self._offset(page_id)  # validates the id
-        self.write(page_id, struct.pack("<Q", self._freelist))
+        self._check_live(page_id)
+        self._write_slot(
+            page_id,
+            struct.pack("<Q", self._freelist)
+            + b"\x00" * (self.page_size - 8),
+        )
         self._freelist = page_id
+        self._freed.add(page_id)
         self._write_header()
 
     def get_metadata(self) -> bytes:
@@ -280,7 +518,8 @@ class FilePager(Pager):
         self._ensure_open()
         if _HEADER_SIZE + len(blob) > self.page_size:
             raise PageError(
-                f"metadata blob of {len(blob)} bytes exceeds header capacity"
+                f"{self.path}: metadata blob of {len(blob)} bytes exceeds "
+                f"header capacity ({self.page_size - _HEADER_SIZE} bytes)"
             )
         self._meta = bytes(blob)
         self._write_header()

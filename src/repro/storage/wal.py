@@ -18,6 +18,15 @@ replaying the journal.  ``sync()`` is an alias for ``commit()``, so a
 B+Tree ``checkpoint()`` over a ``WalPager`` is a durable transaction
 boundary.  The file layout is FilePager-compatible: a committed database
 can be reopened with either pager.
+
+The main file uses the v2 checksummed slot layout (see
+:mod:`repro.storage.pager`): every page applied to it carries a CRC
+trailer, verified on read — :class:`~repro.errors.CorruptPageError`
+surfaces flipped bits at first touch.  Legacy v1 main files are migrated
+on open, *before* recovery; journals from the pre-checksum era (magic
+``ViSTWAL1``) are discarded as torn, which is safe because a v1 journal
+can only coexist with a v1 main file that still holds the consistent
+pre-commit state.
 """
 
 from __future__ import annotations
@@ -27,18 +36,24 @@ import struct
 import zlib
 from typing import Optional
 
-from repro.errors import PageError
+from repro.errors import CorruptPageError, PageError
+from repro.storage.checksums import pack_trailer, verify_trailer
 from repro.storage.pager import (
     DEFAULT_PAGE_SIZE,
     Pager,
+    migrate_v1_page_file,
     pack_header_page,
+    page_offset,
+    peek_header,
+    slot_size,
     unpack_header_page,
 )
 
-_WAL_MAGIC = b"ViSTWAL1"
+_WAL_MAGIC = b"ViSTWAL2"
 _WAL_HEADER_FMT = "<8sII"  # magic, page_size, page count
 _WAL_COMMIT = b"COMMITOK"
 _NIL = 0
+_HEADER_PEEK = 64  # enough bytes to cover the fixed pager-header fields
 
 __all__ = ["WalPager"]
 
@@ -58,31 +73,63 @@ class WalPager(Pager):
         self.journal_path = (
             os.fspath(journal_path) if journal_path is not None else self.path + ".wal"
         )
+        self.read_count = 0
         existing = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        if existing:
+            with open(self.path, "rb") as fh:
+                head = fh.read(_HEADER_PEEK)
+            if peek_header(head, self.path)[1] == 1:
+                migrate_v1_page_file(self.path)
         self._file = open(self.path, "r+b" if existing else "w+b")
         self._closed = False
         self._recover()
+        self._freed: set[int] = set()
         if os.path.getsize(self.path) > 0:
-            self._file.seek(0)
-            raw = self._file.read(page_size)
-            self.page_size, self._npages, self._freelist, self._meta = (
-                unpack_header_page(raw, self.path)
-            )
-            if self.page_size != len(raw):
-                self._file.seek(0)
-                raw = self._file.read(self.page_size)
-                _, self._npages, self._freelist, self._meta = unpack_header_page(
-                    raw, self.path
-                )
+            self._load_durable_header()
         else:
             self.page_size = page_size
             self._npages = 0
             self._freelist = _NIL
             self._meta = b""
-            self._file.write(pack_header_page(page_size, 0, _NIL, b""))
+            payload = pack_header_page(page_size, 0, _NIL, b"")
+            self._file.write(payload + pack_trailer(payload))
             self._file.flush()
         self._overlay: dict[int, bytes] = {}
         self._header_dirty = False
+        self._walk_freelist()
+
+    def _load_durable_header(self) -> None:
+        self._file.seek(0)
+        head = self._file.read(_HEADER_PEEK)
+        page_size = peek_header(head, self.path)[0]
+        self.page_size = page_size
+        self._file.seek(0)
+        raw = self._file.read(slot_size(page_size))
+        if len(raw) < slot_size(page_size):
+            raise PageError(
+                f"{self.path}: truncated header slot (wanted "
+                f"{slot_size(page_size)} bytes, got {len(raw)})"
+            )
+        payload, trailer = raw[:page_size], raw[page_size:]
+        ok, stored, computed = verify_trailer(payload, trailer)
+        if not ok:
+            raise CorruptPageError(self.path, 0, stored, computed, offset=0)
+        _, self._npages, self._freelist, self._meta, _ = unpack_header_page(
+            payload, self.path
+        )
+
+    def _walk_freelist(self) -> None:
+        """Materialise the freed-page set from the freelist chain."""
+        self._freed.clear()
+        pid = self._freelist
+        while pid != _NIL:
+            if pid < 1 or pid > self._npages or pid in self._freed:
+                raise PageError(
+                    f"{self.path}: corrupt freelist chain at page {pid} "
+                    f"(range 1..{self._npages}, {len(self._freed)} walked)"
+                )
+            self._freed.add(pid)
+            (pid,) = struct.unpack_from("<Q", self._read_page(pid))
 
     # ------------------------------------------------------------------
     # Pager interface (all mutations land in the overlay)
@@ -91,8 +138,9 @@ class WalPager(Pager):
         self._ensure_open()
         if self._freelist != _NIL:
             pid = self._freelist
-            raw = self.read(pid)
+            raw = self._read_page(pid)
             (self._freelist,) = struct.unpack_from("<Q", raw)
+            self._freed.discard(pid)
         else:
             self._npages += 1
             pid = self._npages
@@ -100,35 +148,56 @@ class WalPager(Pager):
         self._header_dirty = True
         return pid
 
-    def read(self, page_id: int) -> bytes:
-        self._ensure_open()
+    def _check_range(self, page_id: int) -> None:
+        if page_id < 1 or page_id > self._npages:
+            raise PageError(
+                f"{self.path}: page {page_id} out of range (1..{self._npages})"
+            )
+
+    def _check_live(self, page_id: int) -> None:
+        self._check_range(page_id)
+        if page_id in self._freed:
+            raise PageError(f"{self.path}: page {page_id} is freed")
+
+    def _read_page(self, page_id: int) -> bytes:
+        """Read one page (overlay first, then checksummed main slot)."""
         cached = self._overlay.get(page_id)
         if cached is not None:
             return cached
-        if page_id < 1 or page_id > self._npages:
-            raise PageError(f"page {page_id} out of range (1..{self._npages})")
-        self._file.seek(page_id * self.page_size)
-        data = self._file.read(self.page_size)
-        if len(data) != self.page_size:
+        offset = page_offset(page_id, self.page_size)
+        self._file.seek(offset)
+        raw = self._file.read(slot_size(self.page_size))
+        if len(raw) != slot_size(self.page_size):
             # allocated after the last commit but never written back: the
             # main file has no bytes for it yet
             return b"\x00" * self.page_size
-        return data
+        payload, trailer = raw[: self.page_size], raw[self.page_size :]
+        ok, stored, computed = verify_trailer(payload, trailer)
+        if not ok:
+            raise CorruptPageError(
+                self.path, page_id, stored, computed, offset=offset
+            )
+        return payload
+
+    def read(self, page_id: int) -> bytes:
+        self._ensure_open()
+        self.read_count += 1
+        self._check_live(page_id)
+        return self._read_page(page_id)
 
     def write(self, page_id: int, data: bytes) -> None:
         self._ensure_open()
-        if page_id < 1 or page_id > self._npages:
-            raise PageError(f"page {page_id} out of range (1..{self._npages})")
+        self._check_live(page_id)
         self._overlay[page_id] = self._check_data(data)
 
     def free(self, page_id: int) -> None:
         self._ensure_open()
-        if page_id < 1 or page_id > self._npages:
-            raise PageError(f"page {page_id} out of range (1..{self._npages})")
+        self._check_live(page_id)
         self._overlay[page_id] = struct.pack("<Q", self._freelist) + b"\x00" * (
             self.page_size - 8
         )
         self._freelist = page_id
+        self._freed.add(page_id)
         self._header_dirty = True
 
     def get_metadata(self) -> bytes:
@@ -183,11 +252,8 @@ class WalPager(Pager):
         self._ensure_open()
         self._overlay.clear()
         self._header_dirty = False
-        self._file.seek(0)
-        raw = self._file.read(self.page_size)
-        _, self._npages, self._freelist, self._meta = unpack_header_page(
-            raw, self.path
-        )
+        self._load_durable_header()
+        self._walk_freelist()
 
     @property
     def dirty_page_count(self) -> int:
@@ -245,8 +311,8 @@ class WalPager(Pager):
         os.fsync(journal.fileno())
 
     def _main_write(self, page_id: int, data: bytes, page_size: int) -> None:
-        self._file.seek(page_id * page_size)
-        self._file.write(data)
+        self._file.seek(page_offset(page_id, page_size))
+        self._file.write(data + pack_trailer(data))
 
     def _main_sync(self) -> None:
         self._file.flush()
@@ -275,19 +341,22 @@ class WalPager(Pager):
             blob = journal.read()
         header_size = struct.calcsize(_WAL_HEADER_FMT)
         if len(blob) < header_size + 4 + len(_WAL_COMMIT):
-            raise PageError("journal too short")
+            raise PageError(f"{self.journal_path}: journal too short")
         magic, page_size, count = struct.unpack_from(_WAL_HEADER_FMT, blob)
         if magic != _WAL_MAGIC:
-            raise PageError("bad journal magic")
+            raise PageError(f"{self.journal_path}: bad journal magic {magic!r}")
         if not blob.endswith(_WAL_COMMIT):
-            raise PageError("journal missing commit marker")
+            raise PageError(f"{self.journal_path}: journal missing commit marker")
         body = blob[header_size : -len(_WAL_COMMIT) - 4]
         (stored_crc,) = struct.unpack_from("<I", blob, len(blob) - len(_WAL_COMMIT) - 4)
         if zlib.crc32(body) != stored_crc:
-            raise PageError("journal checksum mismatch")
+            raise PageError(f"{self.journal_path}: journal checksum mismatch")
         record_size = 8 + page_size
         if len(body) != count * record_size:
-            raise PageError("journal body size mismatch")
+            raise PageError(
+                f"{self.journal_path}: journal body size mismatch "
+                f"({len(body)} bytes for {count} record(s) of {record_size})"
+            )
         entries = []
         for i in range(count):
             offset = i * record_size

@@ -39,12 +39,16 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.storage.pager import DEFAULT_PAGE_SIZE
+from repro.errors import TransientIOError
+from repro.storage.checksums import pack_trailer
+from repro.storage.pager import DEFAULT_PAGE_SIZE, FilePager, page_offset
+
 from repro.storage.wal import WalPager
 
 __all__ = [
     "SimulatedCrash",
     "CrashingWalPager",
+    "FlakyFilePager",
     "FaultOutcome",
     "FaultSweepReport",
     "sweep_commit_faults",
@@ -108,8 +112,11 @@ class CrashingWalPager(WalPager):
 
     def _main_write(self, page_id: int, data: bytes, page_size: int) -> None:
         def torn_write() -> None:
-            self._file.seek(page_id * page_size)
-            self._file.write(data[: len(data) // 2])
+            # Tear the full on-disk slot (payload + CRC trailer) at the
+            # v2 offset: half a page lands, its trailer never does.
+            blob = data + pack_trailer(data)
+            self._file.seek(page_offset(page_id, page_size))
+            self._file.write(blob[: len(blob) // 2])
 
         self._op(
             ("main_write", page_id),
@@ -140,6 +147,51 @@ class CrashingWalPager(WalPager):
             raise SimulatedCrash(self.crash_at, kind, self.torn)
         run()
         self.op_log.append(kind)
+
+
+# ---------------------------------------------------------------------------
+# flaky-disk simulation (transient vs persistent read faults)
+
+
+class FlakyFilePager(FilePager):
+    """A FilePager whose raw reads fail transiently.
+
+    ``fail_reads`` raw-read attempts raise
+    :class:`~repro.errors.TransientIOError` before the disk "recovers";
+    with ``persistent=True`` every attempt fails.  Exercises the pager's
+    retry-with-backoff: a transient blip must be invisible to callers,
+    a persistent fault must escape as ``TransientIOError`` after the
+    configured attempts — never as a wrong answer.
+    """
+
+    def __init__(
+        self,
+        path,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        *,
+        fail_reads: int = 0,
+        persistent: bool = False,
+        **kwargs,
+    ) -> None:
+        self._remaining_faults = 0  # disarmed during __init__'s own reads
+        self._persistent = persistent
+        self.fault_count = 0
+        super().__init__(path, page_size, **kwargs)
+        self._remaining_faults = fail_reads
+
+    def _read_at(self, offset: int, length: int) -> bytes:
+        if self._persistent and self._remaining_faults:
+            self.fault_count += 1
+            raise TransientIOError(
+                f"{self.path}: injected persistent read fault at offset {offset}"
+            )
+        if self._remaining_faults > 0:
+            self._remaining_faults -= 1
+            self.fault_count += 1
+            raise TransientIOError(
+                f"{self.path}: injected transient read fault at offset {offset}"
+            )
+        return super()._read_at(offset, length)
 
 
 # ---------------------------------------------------------------------------
