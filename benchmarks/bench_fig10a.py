@@ -17,7 +17,12 @@ effect.
 
 import pytest
 
-from repro.bench.harness import Report, build_index, query_cache_enabled
+from repro.bench.harness import (
+    Report,
+    build_index,
+    metrics_snapshot,
+    query_cache_enabled,
+)
 from repro.datasets.synthetic import SyntheticConfig, SyntheticGenerator
 from repro.index.matching import SequenceMatcher
 
@@ -97,5 +102,6 @@ def bench_json_payload():
         "lengths": {str(k): v for k, v in sorted(_lengths.items())},
         "headline_seconds": sum(v["seconds_per_query"] for v in _lengths.values()),
         "cache_stats": _index_holder[0].cache_stats() if _index_holder else None,
+        "metrics": metrics_snapshot(_index_holder[0]) if _index_holder else None,
     }
     return "fig10a", payload

@@ -23,7 +23,12 @@ to slowest throughout because everything is joins.
 
 import pytest
 
-from repro.bench.harness import Report, build_index, query_cache_enabled
+from repro.bench.harness import (
+    Report,
+    build_index,
+    metrics_snapshot,
+    query_cache_enabled,
+)
 from repro.bench.workloads import TABLE3_QUERIES
 from repro.datasets.dblp import DblpConfig, DblpGenerator
 from repro.datasets.xmark import XmarkConfig, XmarkGenerator
@@ -129,6 +134,10 @@ def bench_json_payload():
         "headline_seconds": headline,
         "cache_stats": {
             dataset: index.cache_stats()
+            for dataset, index in sorted(_vist_indexes.items())
+        },
+        "metrics": {
+            dataset: metrics_snapshot(index)
             for dataset, index in sorted(_vist_indexes.items())
         },
     }

@@ -88,7 +88,7 @@ class ApexIndex(XmlIndexBase):
         # join-based evaluation is exact for same-label branches too
         return False
 
-    def _execute(self, root: QueryNode, guard=None) -> set[int]:
+    def _execute(self, root: QueryNode, guard=None, trace=None) -> set[int]:
         self._guard = guard
         if root.is_dslash:
             doc_sets = [

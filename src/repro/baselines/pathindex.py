@@ -77,7 +77,7 @@ class PathIndex(XmlIndexBase):
         # join-based evaluation is exact for same-label branches too
         return False
 
-    def _execute(self, root: QueryNode, guard=None) -> set[int]:
+    def _execute(self, root: QueryNode, guard=None, trace=None) -> set[int]:
         self._guard = guard
         chain = self._as_raw_path(root)
         if chain is not None:

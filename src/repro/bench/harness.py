@@ -35,6 +35,7 @@ __all__ = [
     "time_queries",
     "Report",
     "bench_json_path",
+    "metrics_snapshot",
     "write_bench_json",
     "read_bench_json",
 ]
@@ -175,6 +176,18 @@ def _fmt(value) -> str:
 def _repo_root() -> str:
     return os.path.dirname(os.path.dirname(os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))))
+
+
+def metrics_snapshot(index) -> Optional[dict]:
+    """The index's full metrics-registry dump (see :mod:`repro.obs`).
+
+    Benchmarks embed this in their ``BENCH_<name>.json`` payload so a
+    headline regression can be attributed to a stage — range queries,
+    cache hit rates, pager reads, tree shape — instead of re-profiling.
+    Returns ``None`` for index objects without a registry.
+    """
+    registry = getattr(index, "metrics", None)
+    return registry.snapshot() if registry is not None else None
 
 
 def bench_json_path(name: str, directory: Optional[str] = None) -> str:

@@ -132,6 +132,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print match effort and cache hit rates after the query",
     )
     p_query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the per-stage span tree of the evaluation "
+        "(times, page reads, cache hits, candidates per query level)",
+    )
+    p_query.add_argument(
+        "--engine",
+        choices=("vist", "rist", "naive"),
+        default="vist",
+        help="evaluation engine: the on-disk ViST index (default), or an "
+        "ephemeral in-memory RIST/Naive rebuilt from the stored sequences "
+        "(for comparing --explain traces)",
+    )
+    p_query.add_argument(
         "--deadline-ms",
         type=float,
         help="abort the query after this many milliseconds (exit code 4)",
@@ -160,6 +174,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_stats = sub.add_parser("stats", help="index size statistics")
     p_stats.add_argument("dbdir", type=Path)
+    p_stats.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the full metrics registry as one JSON document",
+    )
     p_stats.set_defaults(handler=_cmd_stats)
 
     p_check = sub.add_parser(
@@ -250,10 +269,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
             max_steps=args.max_steps,
             max_page_reads=args.max_page_reads,
         )
+    trace = None
+    if args.explain:
+        from repro.obs import QueryTrace
+
+        trace = QueryTrace()
     index = open_index(args.dbdir)
     try:
-        result = index.query(args.xpath, verify=args.verify, guard=guard)
+        engine, idmap = _resolve_engine(index, args.engine)
+        result = engine.query(args.xpath, verify=args.verify, guard=guard, trace=trace)
+        if idmap is not None:
+            result = {idmap[doc_id] for doc_id in result}
         mode = "verified" if args.verify else "raw"
+        if args.engine != "vist":
+            mode += f", {args.engine}"
         if not index.health.ok:
             # the answer came from the docstore, not the damaged index;
             # persist the observation so `repro stats` can surface it
@@ -277,9 +306,35 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 f"{stats.batched_states} batched"
             )
             _print_cache_stats(index)
+        if trace is not None:
+            print(trace.render())
     finally:
         _close_index(index)
     return 0
+
+
+def _resolve_engine(index: VistIndex, kind: str):
+    """The query engine for ``--engine`` plus a doc-id translation map.
+
+    ``vist`` queries the on-disk index directly.  ``rist`` and ``naive``
+    rebuild an ephemeral in-memory index from the stored sequences so
+    their ``--explain`` traces describe the same corpus; their internal
+    doc ids are renumbered, hence the map back to the on-disk ids.
+    """
+    if kind == "vist":
+        return index, None
+    if kind == "rist":
+        from repro.index.rist import RistIndex
+
+        engine = RistIndex(index.encoder)
+    else:
+        from repro.index.naive import NaiveIndex
+
+        engine = NaiveIndex(index.encoder)
+    idmap = {}
+    for doc_id in sorted(index.docstore.ids()):
+        idmap[engine.add_sequence(index.load_sequence(doc_id))] = doc_id
+    return engine, idmap
 
 
 def _print_cache_stats(index: VistIndex) -> None:
@@ -365,6 +420,16 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     index = open_index(args.dbdir)
     try:
+        if args.json:
+            import json
+
+            snapshot = index.metrics.snapshot()
+            snapshot["documents"] = len(index)
+            sidecar = Path(args.dbdir) / _HEALTH_FILE
+            if sidecar.exists():
+                snapshot["health_sidecar"] = json.loads(sidecar.read_text())
+            print(json.dumps(snapshot, indent=2, sort_keys=True, default=str))
+            return 0
         print(f"documents: {len(index)}")
         for name, stats in index.index_stats().items():
             print(

@@ -10,12 +10,15 @@ optional tree-embedding verification pass.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Union
 
 from repro.doc.model import XmlDocument, XmlNode
 from repro.errors import CorruptionError, IndexStateError
 from repro.index.guard import IndexHealth, QueryGuard
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import QueryTrace
 from repro.query.ast import QueryNode, QuerySequence
 from repro.query.translate import QueryTranslator
 from repro.query.xpath import parse_xpath
@@ -88,6 +91,14 @@ class XmlIndexBase:
         # in-flight query is re-answered through the docstore
         self.health = IndexHealth()
         self.degraded_fallback = True
+        # observability: the per-index metrics registry.  Components add
+        # their stat bundles as pull-only sources (nothing on the hot path
+        # changes); `repro stats --json` dumps registry.snapshot().
+        self.metrics = MetricsRegistry()
+        self.metrics.register("health", self.health.report)
+        self._m_queries = self.metrics.counter("queries.total")
+        self._m_degraded = self.metrics.counter("queries.degraded")
+        self._m_latency = self.metrics.histogram("queries.latency_ms")
 
     # -- ingestion ---------------------------------------------------------
 
@@ -130,6 +141,7 @@ class XmlIndexBase:
         verify: bool = False,
         fallback: bool = True,
         guard: Optional[QueryGuard] = None,
+        trace: Optional[QueryTrace] = None,
     ) -> list[int]:
         """Evaluate a structural query; returns sorted matching doc ids.
 
@@ -153,17 +165,54 @@ class XmlIndexBase:
         is re-answered exactly through the docstore-backed reference
         evaluation — slower, but never silently wrong.  With the fallback
         off, the :class:`~repro.errors.CorruptionError` propagates.
+
+        ``trace`` (a :class:`~repro.obs.trace.QueryTrace`) records the
+        evaluation as a span tree — translation, per-level matching,
+        DocId output, verification, degraded fallback — with per-stage
+        times and counter deltas (``repro query --explain``).
         """
         root = parse_xpath(query) if isinstance(query, str) else query
         if guard is not None:
             guard.start(self._page_read_counter())
+        self._m_queries.value += 1
+        t0 = time.perf_counter()
+        qspan = None
+        if trace is not None:
+            qspan = trace.begin(
+                "query", xpath=root.to_xpath(), engine=type(self).__name__
+            )
         try:
-            return self._query_indexed(root, verify, fallback, guard)
+            result = self._query_indexed(root, verify, fallback, guard, trace)
         except CorruptionError as exc:
             if not self.degraded_fallback:
+                if qspan is not None:
+                    trace.end(qspan, error=type(exc).__name__)
                 raise
             self.health.record_corruption(exc)
-            return self._degraded_query(root, guard)
+            self._m_degraded.value += 1
+            if trace is not None:
+                # the error unwound past open match/level spans; close them
+                # so the fallback span attaches to the query span itself
+                trace.unwind_to(qspan)
+                with trace.span(
+                    "degraded-fallback", reason=type(exc).__name__
+                ) as dspan:
+                    result = self._degraded_query(root, guard)
+                    dspan.annotate(results=len(result))
+            else:
+                result = self._degraded_query(root, guard)
+        except BaseException as exc:
+            if qspan is not None:
+                trace.end(qspan, error=type(exc).__name__)
+            raise
+        self._m_latency.observe((time.perf_counter() - t0) * 1000.0)
+        if qspan is not None:
+            meta: dict = {"results": len(result)}
+            if guard is not None:
+                meta["guard_steps"] = guard.steps
+                meta["guard_page_reads"] = guard.page_reads
+            trace.end(qspan, **meta)
+        return result
 
     def _query_indexed(
         self,
@@ -171,6 +220,7 @@ class XmlIndexBase:
         verify: bool,
         fallback: bool,
         guard: Optional[QueryGuard],
+        trace: Optional[QueryTrace] = None,
     ) -> list[int]:
         """The normal (index-backed) evaluation path of :meth:`query`."""
         from repro.errors import TranslationError
@@ -184,28 +234,40 @@ class XmlIndexBase:
         if all(node.is_wildcard for node in root.preorder()):
             # e.g. "/*": no concrete item survives translation; every
             # document is a candidate and verification decides
+            span = (
+                trace.begin("scan-all-documents", documents=len(self.docstore))
+                if trace is not None
+                else None
+            )
             matched = []
             for doc_id in self.docstore.ids():
                 if guard is not None:
                     guard.step()
                 if self._verify_one(doc_id, root):
                     matched.append(doc_id)
+            if span is not None:
+                trace.end(span, matched=len(matched))
             return sorted(matched)
         if verify and self._needs_relaxed_candidates(root):
             # same-label sibling branches demand duplicate (symbol, prefix)
             # items that one data node may satisfy alone — raw matching
             # loses such answers (the Q5 caveat), so exact mode draws its
             # candidates from the relaxed query instead
-            doc_ids = self._execute(relax_query_tree(root), guard)
+            doc_ids = self._execute(relax_query_tree(root), guard, trace)
         else:
             try:
-                doc_ids = self._execute(root, guard)
+                doc_ids = self._execute(root, guard, trace)
             except TranslationError:
                 if not fallback:
                     raise
-                doc_ids = self._execute(relax_query_tree(root), guard)
+                doc_ids = self._execute(relax_query_tree(root), guard, trace)
                 verify = True
         if verify:
+            span = (
+                trace.begin("verify", candidates=len(doc_ids))
+                if trace is not None
+                else None
+            )
             verified = set()
             for d in doc_ids:
                 if guard is not None:
@@ -213,6 +275,8 @@ class XmlIndexBase:
                 if self._verify_one(d, root):
                     verified.add(d)
             doc_ids = verified
+            if span is not None:
+                trace.end(span, verified=len(verified))
         if guard is not None:
             guard.check()  # reads issued since the last tick still count
         return sorted(doc_ids)
@@ -379,18 +443,37 @@ class XmlIndexBase:
         return False
 
     def _execute(
-        self, root: QueryNode, guard: Optional[QueryGuard] = None
+        self,
+        root: QueryNode,
+        guard: Optional[QueryGuard] = None,
+        trace: Optional[QueryTrace] = None,
     ) -> set[int]:
         """Evaluate a parsed query tree.  Default: sequence matching over
         every translation alternative; the join-based baselines override
         this with their own evaluation strategy."""
         doc_ids: set[int] = set()
-        for alternative in self.translator.translate(root):
-            doc_ids.update(self.match_sequence(alternative, guard))
+        if trace is None:
+            for alternative in self.translator.translate(root):
+                doc_ids.update(self.match_sequence(alternative, guard))
+            return doc_ids
+        span = trace.begin("translate")
+        alternatives = list(self.translator.translate(root))
+        trace.end(span, alternatives=len(alternatives))
+        for i, alternative in enumerate(alternatives):
+            aspan = trace.begin(
+                f"match alt {i}",
+                sequence=" ".join(str(item) for item in alternative),
+            )
+            found = self.match_sequence(alternative, guard, trace)
+            trace.end(aspan, doc_ids=len(found))
+            doc_ids.update(found)
         return doc_ids
 
     def match_sequence(
-        self, query_sequence: QuerySequence, guard: Optional[QueryGuard] = None
+        self,
+        query_sequence: QuerySequence,
+        guard: Optional[QueryGuard] = None,
+        trace: Optional[QueryTrace] = None,
     ) -> set[int]:
         """Raw subsequence matching for one query-sequence alternative."""
         raise NotImplementedError

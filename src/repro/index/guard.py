@@ -100,7 +100,11 @@ class QueryGuard:
             raise QueryCancelledError("query cancelled by its guard")
         if self.deadline_ms is not None:
             if self._t0 is None:
-                self.start()
+                # Lazy start for guards checked before start() was called:
+                # begin timing only.  Resetting via start() here would wipe
+                # self.steps and the page counter mid-query, silently
+                # disabling the step/page budgets on the first deadline tick.
+                self._t0 = time.monotonic()
             elapsed = self.elapsed_ms
             if elapsed > self.deadline_ms:
                 raise QueryTimeoutError(self.deadline_ms, elapsed)
@@ -137,6 +141,7 @@ class IndexHealth:
     status: str = "ok"
     events: list[HealthEvent] = field(default_factory=list)
     degraded_queries: int = 0
+    dropped_events: int = 0
 
     _MAX_EVENTS = 32  # keep the report bounded under sustained corruption
 
@@ -149,24 +154,32 @@ class IndexHealth:
         self.status = "read-suspect"
         if len(self.events) < self._MAX_EVENTS:
             self.events.append(HealthEvent(type(exc).__name__, str(exc)))
+        else:
+            self.dropped_events += 1
 
     def report(self) -> dict:
         """JSON-ready health summary (shown by ``repro stats``)."""
         return {
             "status": self.status,
             "degraded_queries": self.degraded_queries,
+            "dropped_events": self.dropped_events,
             "events": [event.to_dict() for event in self.events],
         }
 
     def summary(self) -> str:
         if self.ok:
             return "health: ok"
+        total = len(self.events) + self.dropped_events
         lines = [
             f"health: {self.status} "
-            f"({len(self.events)} corruption event(s), "
+            f"({total} corruption event(s), "
             f"{self.degraded_queries} degraded quer{'y' if self.degraded_queries == 1 else 'ies'})"
         ]
         for event in self.events:
             lines.append(f"  {event.kind}: {event.detail}")
+        if self.dropped_events:
+            lines.append(
+                f"  ... and {self.dropped_events} more event(s) not retained"
+            )
         lines.append("  run `repro scrub` to assess and `repro salvage` to rebuild")
         return "\n".join(lines)

@@ -27,6 +27,7 @@ from typing import Iterable, Iterator, Optional, Protocol
 
 from repro.index.postings import PostingGroup
 from repro.labeling.scope import Scope
+from repro.obs.metrics import MetricSet
 from repro.query.ast import Dslash, PrefixToken, QueryItem, QuerySequence, Star
 from repro.sequence.encoding import Prefix
 
@@ -42,7 +43,7 @@ __all__ = [
 
 
 @dataclass
-class MatchStats:
+class MatchStats(MetricSet):
     """Index-traversal effort of the most recent match.
 
     ``range_queries`` counts D/S-Ancestor lookups issued (the paper's
@@ -210,19 +211,31 @@ class SequenceMatcher:
         self.batched = batched
         self.stats = MatchStats()  # effort of the most recent match
         self._guard = None  # active QueryGuard while a match runs
+        self._trace = None  # active QueryTrace while a match runs
 
-    def match(self, query: QuerySequence, guard=None) -> set[int]:
+    def match(self, query: QuerySequence, guard=None, trace=None) -> set[int]:
         """All document ids containing the query sequence."""
+        finals = self.final_scopes(query, guard, trace)
+        if trace is not None:
+            pager = getattr(self.host, "_pager", None)
+            pages0 = pager.read_count if pager is not None else 0
+            span = trace.begin("docid-output", final_scopes=len(finals))
         results: set[int] = set()
-        for scope in self.final_scopes(query, guard):
+        for scope in finals:
             if guard is not None:
                 guard.step()
             results.update(self.host.iter_doc_ids(scope))
         if guard is not None:
             guard.check()  # count the reads of the trailing DocId fetches
+        if trace is not None:
+            trace.end(
+                span,
+                doc_ids=len(results),
+                page_reads=(pager.read_count - pages0) if pager is not None else 0,
+            )
         return results
 
-    def final_scopes(self, query: QuerySequence, guard=None) -> list[Scope]:
+    def final_scopes(self, query: QuerySequence, guard=None, trace=None) -> list[Scope]:
         """Scopes of the nodes matching the query's last item.
 
         This is the matching phase *without* the DocId output phase —
@@ -232,6 +245,7 @@ class SequenceMatcher:
         """
         self.stats.reset()
         self._guard = guard
+        self._trace = trace
         if guard is not None:
             guard.check()
         postings = getattr(self.host, "postings", None)
@@ -247,6 +261,7 @@ class SequenceMatcher:
                 finals = self._final_scopes_recursive(query)
         finally:
             self._guard = None
+            self._trace = None
         if before is not None:
             self.stats.cache_hits = postings.stats.hits - before[0]
             self.stats.cache_misses = postings.stats.misses - before[1]
@@ -258,8 +273,22 @@ class SequenceMatcher:
         items = query.items
         max_len = self.host.max_prefix_len()
         guard = self._guard  # hoisted: the per-state tick must stay cheap
+        trace = self._trace  # hoisted: one span per level, never per state
+        if trace is not None:
+            stats = self.stats
+            pager = getattr(self.host, "_pager", None)
+            postings = getattr(self.host, "postings", None)
         frontier: list[tuple[Scope, Bindings]] = [(self.host.root_scope(), ())]
-        for qi in items:
+        for level, qi in enumerate(items):
+            if trace is not None:
+                span = trace.begin(
+                    f"level {level}", item=str(qi), frontier_in=len(frontier)
+                )
+                rq0, cand0 = stats.range_queries, stats.candidates
+                bat0 = stats.batched_states
+                pages0 = pager.read_count if pager is not None else 0
+                if postings is not None:
+                    hits0, misses0 = postings.stats.hits, postings.stats.misses
             groups: GroupMemo = {}
             next_frontier: list[tuple[Scope, Bindings]] = []
             seen: set[tuple[int, Bindings]] = set()
@@ -276,6 +305,19 @@ class SequenceMatcher:
                         seen.add(state)
                         next_frontier.append((child, new_bindings))
             frontier = next_frontier
+            if trace is not None:
+                meta = {
+                    "frontier_out": len(frontier),
+                    "range_queries": stats.range_queries - rq0,
+                    "candidates": stats.candidates - cand0,
+                    "batched": stats.batched_states - bat0,
+                }
+                if pager is not None:
+                    meta["page_reads"] = pager.read_count - pages0
+                if postings is not None:
+                    meta["cache_hits"] = postings.stats.hits - hits0
+                    meta["cache_misses"] = postings.stats.misses - misses0
+                trace.end(span, **meta)
             if not frontier:
                 break
         finals: list[Scope] = []
@@ -294,6 +336,11 @@ class SequenceMatcher:
         items = query.items
         max_len = self.host.max_prefix_len()
         guard = self._guard
+        trace = self._trace
+        if trace is not None:
+            pager = getattr(self.host, "_pager", None)
+            pages0 = pager.read_count if pager is not None else 0
+            walk_span = trace.begin("recursive-walk", items=len(items))
 
         def search(scope: Scope, i: int, bindings: Bindings) -> None:
             if i == len(items):
@@ -313,7 +360,20 @@ class SequenceMatcher:
                 self.stats.candidates += 1
                 search(child_scope, i + 1, new_bindings)
 
-        search(self.host.root_scope(), 0, ())
+        try:
+            search(self.host.root_scope(), 0, ())
+        finally:
+            if trace is not None:
+                trace.end(
+                    walk_span,
+                    search_states=self.stats.search_states,
+                    range_queries=self.stats.range_queries,
+                    candidates=self.stats.candidates,
+                    final_scopes=len(finals),
+                    page_reads=(
+                        (pager.read_count - pages0) if pager is not None else 0
+                    ),
+                )
         return finals
 
     # -- candidate generation ---------------------------------------------

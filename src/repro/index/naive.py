@@ -41,17 +41,21 @@ class NaiveIndex(XmlIndexBase):
             source_store=source_store, max_alternatives=max_alternatives,
         )
         self.trie = SequenceTrie()
+        self.metrics.register("trie.nodes", lambda: self.trie.node_count)
 
     def add_sequence(self, sequence: StructureEncodedSequence) -> int:
         doc_id = self.docstore.add(self._sequence_to_payload(sequence))
         self.trie.insert(sequence, doc_id)
         return doc_id
 
-    def match_sequence(self, query_sequence: QuerySequence, guard=None) -> set[int]:
+    def match_sequence(self, query_sequence: QuerySequence, guard=None, trace=None) -> set[int]:
         results: set[int] = set()
         items = query_sequence.items
+        states = 0
 
         def naive_search(node: TrieNode, i: int, bindings) -> None:
+            nonlocal states
+            states += 1
             if guard is not None:
                 guard.step()
             if i == len(items):
@@ -63,7 +67,14 @@ class NaiveIndex(XmlIndexBase):
             for child, new_bindings in self._matching_descendants(node, qi, bindings):
                 naive_search(child, i + 1, new_bindings)
 
+        span = (
+            trace.begin("naive-walk", items=len(items))
+            if trace is not None
+            else None
+        )
         naive_search(self.trie.root, 0, ())
+        if span is not None:
+            trace.end(span, search_states=states, doc_ids=len(results))
         return results
 
     def _matching_descendants(

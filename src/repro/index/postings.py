@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable
 
 from repro.labeling.scope import Scope
+from repro.obs.metrics import MetricSet
 from repro.sequence.encoding import Prefix
 
 GroupKey = tuple[Hashable, int, tuple[str, ...]]  # (symbol, prefix_len, leading)
@@ -56,8 +57,8 @@ class PostingGroup:
 
 
 @dataclass
-class PostingCacheStats:
-    """Counters exposed by :attr:`PostingCache.stats`."""
+class PostingCacheStats(MetricSet):
+    """Counters exposed by :attr:`PostingCache.stats` (registry-readable)."""
 
     hits: int = 0
     misses: int = 0

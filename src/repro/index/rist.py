@@ -62,6 +62,8 @@ class RistIndex(XmlIndexBase, CombinedTreeHost):
         self._matcher = SequenceMatcher(self, batched=batched)
         self.trie: Optional[SequenceTrie] = SequenceTrie()
         self._root_scope: Optional[Scope] = None
+        self._register_host_metrics()
+        self.metrics.register("trie.nodes", self.trie_node_count)
 
     # -- ingestion ---------------------------------------------------------
 
@@ -122,9 +124,9 @@ class RistIndex(XmlIndexBase, CombinedTreeHost):
 
     # -- matching -----------------------------------------------------------
 
-    def match_sequence(self, query_sequence: QuerySequence, guard=None) -> set[int]:
+    def match_sequence(self, query_sequence: QuerySequence, guard=None, trace=None) -> set[int]:
         self.finalize()
-        return self._matcher.match(query_sequence, guard)
+        return self._matcher.match(query_sequence, guard, trace)
 
     @property
     def match_stats(self):

@@ -162,6 +162,36 @@ class CombinedTreeHost:
         if self.postings is not None:
             self.postings.invalidate_entry(symbol, prefix)
 
+    def _register_host_metrics(self) -> None:
+        """Attach the host's cache/tree/pager counters to ``self.metrics``.
+
+        Called by the index constructors once the trees, matcher and
+        posting cache exist.  Everything is registered as a pull-only
+        source: the registry reads these objects at snapshot time and the
+        hot paths keep their plain attribute increments.
+        """
+        metrics = getattr(self, "metrics", None)
+        if metrics is None:  # host built without XmlIndexBase plumbing
+            return
+        matcher = getattr(self, "_matcher", None)
+        if matcher is not None:
+            metrics.register("match", matcher.stats)
+        if self.postings is not None:
+            postings = self.postings
+            metrics.register("postings", postings.stats)
+            metrics.register("postings.groups", lambda: len(postings))
+        pager = self.tree.pager
+        metrics.register("pager.reads", lambda: pager.read_count)
+        pool_stats = getattr(pager, "stats", None)
+        if pool_stats is not None:
+            metrics.register("buffer_pool", pool_stats)
+        for name, tree in (("combined", self.tree), ("docid", self.docid_tree)):
+            # tree.stats() walks the tree, so it joins the dump as a lazy
+            # callable — paid only when somebody snapshots the registry
+            metrics.register(
+                f"tree.{name}", lambda tree=tree: tree.stats().snapshot()
+            )
+
     def cache_stats(self) -> dict:
         """Query-path cache counters: postings, B+Tree descents, buffer pool."""
         out: dict = {}

@@ -107,6 +107,8 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
             self.tree.put(ROOT_KEY, self._root_state.to_bytes())
         else:
             self._root_state = NodeState.from_bytes(0, root_value)
+        self._register_host_metrics()
+        self.metrics.register("underflows", lambda: self.underflow_count)
 
     # ------------------------------------------------------------------
     # ingestion (Algorithm 4)
@@ -311,8 +313,8 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
     # ------------------------------------------------------------------
     # matching
 
-    def match_sequence(self, query_sequence: QuerySequence, guard=None) -> set[int]:
-        return self._matcher.match(query_sequence, guard)
+    def match_sequence(self, query_sequence: QuerySequence, guard=None, trace=None) -> set[int]:
+        return self._matcher.match(query_sequence, guard, trace)
 
     @property
     def match_stats(self):

@@ -1,0 +1,231 @@
+"""Zero-dependency metrics primitives and the unifying registry.
+
+Design constraints (in priority order):
+
+1. **Hot paths stay hot.**  The counters that live inside the matcher
+   and cache loops are plain integer attributes incremented with
+   ``stats.hits += 1`` — exactly the code that existed before this
+   module.  :class:`MetricSet` only adds a :meth:`~MetricSet.snapshot`
+   that *reads* those attributes when somebody asks; nothing on the
+   increment path changed.
+2. **One export.**  Every component registers itself (or is registered
+   by its owning index) under a dotted name in a
+   :class:`MetricsRegistry`; ``registry.snapshot()`` returns the whole
+   observable state as one JSON-ready dict.
+3. **Bounded memory.**  :class:`Histogram` keeps a fixed-size reservoir
+   (default 1024 samples): early observations are kept verbatim, later
+   ones overwrite a rotating slot, so p50/p95/p99 stay representative
+   under sustained traffic without unbounded growth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricSet", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    ``value`` is a public plain attribute so hoisted-local hot paths may
+    do ``counter.value += 1`` directly; :meth:`inc` is the readable form
+    for everywhere else.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Bounded-reservoir histogram with p50/p95/p99.
+
+    The first ``max_samples`` observations are stored verbatim; after
+    that each new observation overwrites a rotating slot, so the
+    reservoir always holds the most recent window (count/sum/min/max
+    remain exact over the full lifetime).
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_samples", "_cursor", "_cap")
+
+    def __init__(self, max_samples: int = 1024) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: list[float] = []
+        self._cursor = 0
+        self._cap = max_samples
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._samples) < self._cap:
+            self._samples.append(value)
+        else:
+            self._samples[self._cursor] = value
+            self._cursor = (self._cursor + 1) % self._cap
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile over the reservoir (``q`` in [0, 100])."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": (self.total / self.count) if self.count else None,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricSet:
+    """Base for plain-attribute counter bundles (the former ad-hoc stats).
+
+    Subclasses are ordinary dataclasses (or ``__slots__`` classes) whose
+    fields are incremented directly on the hot path; :meth:`snapshot`
+    reads them into a dict, including any ``float``/``int`` properties
+    the class declares (``hit_rate`` and friends), so a registry dump
+    needs no per-class knowledge.
+    """
+
+    def snapshot(self) -> dict:
+        out: dict = {}
+        if dataclasses.is_dataclass(self):
+            for field in dataclasses.fields(self):
+                out[field.name] = getattr(self, field.name)
+        else:  # __slots__ bundles
+            for name in getattr(self, "__slots__", ()):
+                if not name.startswith("_"):
+                    out[name] = getattr(self, name)
+        for name in dir(type(self)):
+            if name.startswith("_") or name in out:
+                continue
+            attr = getattr(type(self), name)
+            if isinstance(attr, property):
+                out[name] = getattr(self, name)
+        return out
+
+
+Source = Union[Counter, Gauge, Histogram, MetricSet, Callable[[], object]]
+
+
+class MetricsRegistry:
+    """Name → metric-source directory with a single JSON-ready dump.
+
+    Sources are *pulled*: registering an object costs one dict entry and
+    nothing at increment time.  A source may be a :class:`Counter` /
+    :class:`Gauge` / :class:`Histogram`, any object with a
+    ``snapshot()`` method (:class:`MetricSet`, another registry), or a
+    zero-argument callable returning a JSON-ready value — the callable
+    form is how lazily computed summaries (tree shapes, health reports)
+    join the dump without being paid for on every query.
+    """
+
+    def __init__(self) -> None:
+        self._sources: dict[str, Source] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Create (or return the existing) counter under ``name``."""
+        return self._own(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._own(name, Gauge)
+
+    def histogram(self, name: str, max_samples: int = 1024) -> Histogram:
+        existing = self._sources.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise ValueError(f"metric {name!r} already registered as "
+                                 f"{type(existing).__name__}")
+            return existing
+        metric = Histogram(max_samples)
+        self._sources[name] = metric
+        return metric
+
+    def _own(self, name: str, cls):
+        existing = self._sources.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(f"metric {name!r} already registered as "
+                                 f"{type(existing).__name__}")
+            return existing
+        metric = cls()
+        self._sources[name] = metric
+        return metric
+
+    def register(self, name: str, source: Source) -> None:
+        """Attach an external source (stat bundle, callable, sub-registry)."""
+        self._sources[name] = source
+
+    def unregister(self, name: str) -> None:
+        self._sources.pop(name, None)
+
+    def names(self) -> list[str]:
+        return sorted(self._sources)
+
+    def snapshot(self) -> dict:
+        """The full registry as a nested JSON-ready dict.
+
+        Dotted names split into nesting (``"pager.reads"`` lands at
+        ``out["pager"]["reads"]``); sources that fail to produce a value
+        surface as an ``"<error: ...>"`` string instead of aborting the
+        dump — an observability read must never take the process down.
+        """
+        out: dict = {}
+        for name in sorted(self._sources):
+            source = self._sources[name]
+            try:
+                if callable(source) and not hasattr(source, "snapshot"):
+                    value = source()
+                else:
+                    value = source.snapshot()
+            except Exception as exc:  # pragma: no cover - defensive
+                value = f"<error: {type(exc).__name__}: {exc}>"
+            node = out
+            parts = name.split(".")
+            for part in parts[:-1]:
+                nxt = node.setdefault(part, {})
+                if not isinstance(nxt, dict):
+                    nxt = node[part] = {"": nxt}
+                node = nxt
+            node[parts[-1]] = value
+        return out

@@ -28,14 +28,16 @@ from pathlib import Path
 from typing import Optional
 
 from repro.errors import CorruptionError, PageError, StorageError
+from repro.storage.bptree import reachable_page_ids
 from repro.storage.checksums import CHECKSUM_SIZE, page_checksum, verify_trailer
-from repro.storage.pager import peek_header, slot_size
+from repro.storage.pager import peek_header, slot_size, unpack_header_page
 
 __all__ = [
     "FileScrubReport",
     "ScrubReport",
     "SalvageReport",
     "scrub_page_file",
+    "scrub_page_reachability",
     "scrub_record_file",
     "scrub_db",
     "salvage_db",
@@ -183,6 +185,70 @@ def scrub_page_file(path: str | os.PathLike) -> FileScrubReport:
     return report
 
 
+def scrub_page_reachability(path: str | os.PathLike) -> FileScrubReport:
+    """Account for every allocated page slot: live, freelisted, or LEAKED.
+
+    A crash between :meth:`FilePager.free`'s slot write and its header
+    write leaves a page that is neither referenced by any B+Tree nor
+    reachable from the freelist head — permanently lost space that no
+    checksum walk can see (its CRC is fine).  This walk parses the header
+    raw, follows the freelist chain, walks every tree root in the slot
+    directory, and reports any slot in neither set.
+
+    Only meaningful after the checksum walk came back clean (it trusts
+    page payloads); :func:`scrub_db` gates it accordingly.
+    """
+    path = os.fspath(path)
+    report = FileScrubReport(path=path, kind="page slots")
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        report.fail(f"unreadable: {exc}")
+        return report
+    try:
+        page_size, version = peek_header(raw, path)
+        if version == 1:
+            report.notes.append("legacy v1 page file: reachability walk skipped")
+            return report
+        slot = slot_size(page_size)
+
+        def payload(pid: int) -> bytes:
+            return raw[pid * slot : pid * slot + page_size]
+
+        _, npages, freelist, meta, _ = unpack_header_page(payload(0), path)
+        freed: set[int] = set()
+        pid = freelist
+        while pid != 0:
+            if pid < 1 or pid > npages or pid in freed:
+                report.fail(
+                    f"corrupt freelist chain at page {pid} "
+                    f"(range 1..{npages}, {len(freed)} walked)"
+                )
+                return report
+            freed.add(pid)
+            (pid,) = struct.unpack_from("<Q", payload(pid))
+        live = reachable_page_ids(meta, payload)
+    except PageError as exc:
+        report.fail(str(exc))
+        return report
+    report.checked = npages
+    overlap = live & freed
+    for pid in sorted(overlap):
+        report.fail(f"page {pid}: on the freelist but still referenced by a tree")
+    leaked = sorted(set(range(1, npages + 1)) - live - freed)
+    for pid in leaked:
+        report.fail(
+            f"page {pid}: LEAKED — neither referenced by any tree nor on "
+            f"the freelist (interrupted free()?); run `repro salvage` to reclaim"
+        )
+    if not report.errors:
+        report.notes.append(
+            f"{len(live)} live + {len(freed)} freelisted page(s), no leaks"
+        )
+    return report
+
+
 def scrub_record_file(path: str | os.PathLike) -> FileScrubReport:
     """Verify the CRC of every record in a docstore file.
 
@@ -264,8 +330,13 @@ def scrub_db(dbdir: str | os.PathLike, *, invariants: bool = True) -> ScrubRepor
         record_path = dbdir / name
         if record_path.exists():
             report.files.append(scrub_record_file(record_path))
+    checksums_clean = report.checksums_ok
+    if tree_path.exists() and checksums_clean:
+        # storage accounting (leaked pages) needs trustworthy payloads,
+        # so it only runs over a checksum-clean tree file
+        report.files.append(scrub_page_reachability(tree_path))
     if invariants and tree_path.exists():
-        if not report.checksums_ok:
+        if not checksums_clean:
             report.notes.append("invariant check skipped: checksum errors above")
         else:
             report.invariants_checked = True
@@ -344,6 +415,19 @@ def salvage_db(dbdir: str | os.PathLike) -> SalvageReport:
             f"{doc_path} is damaged; salvage needs an intact document store:\n"
             + "\n".join(doc_scrub.errors)
         )
+
+    # Account for leaked pages before the rebuild: the fresh index never
+    # inherits them, so salvage is also the reclamation path for slots an
+    # interrupted free() orphaned (see scrub_page_reachability).
+    old_tree = dbdir / TREE_FILE
+    if old_tree.exists():
+        reach = scrub_page_reachability(old_tree)
+        leaked = sum(1 for err in reach.errors if "LEAKED" in err)
+        if leaked:
+            report.notes.append(
+                f"reclaimed {leaked} leaked page(s) the old index could "
+                "neither use nor reuse"
+            )
 
     tree_side = dbdir / (TREE_FILE + ".salvage")
     doc_side = dbdir / (DOC_FILE + ".salvage")

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.errors import DuplicateEntryError, KeyTooLargeError, PageError, StorageError
+from repro.obs.metrics import MetricSet
 from repro.storage.pager import MemoryPager, Pager
 
 _LEAF = 0x01
@@ -51,11 +52,76 @@ _META_FMT = "<H"  # number of slots
 
 Pair = tuple[bytes, bytes]
 
-__all__ = ["BPlusTree", "TreeStats"]
+__all__ = [
+    "BPlusTree",
+    "TreeStats",
+    "decode_slot_directory",
+    "reachable_page_ids",
+]
+
+
+def decode_slot_directory(meta: bytes) -> list[tuple[int, int]]:
+    """Parse a pager metadata blob into ``(root_pid, count)`` slot entries.
+
+    This is the inverse of the blob :meth:`BPlusTree._store_slot` writes;
+    the scrub reachability walk uses it to find every tree root in a page
+    file without opening the trees.
+    """
+    if not meta:
+        return []
+    (nslots,) = struct.unpack_from(_META_FMT, meta)
+    header = struct.calcsize(_META_FMT)
+    need = header + nslots * _SLOT_SIZE
+    if len(meta) < need:
+        raise PageError(
+            f"slot directory truncated: {nslots} slot(s) need {need} bytes, "
+            f"blob has {len(meta)}"
+        )
+    return [
+        struct.unpack_from(_SLOT_FMT, meta, header + i * _SLOT_SIZE)
+        for i in range(nslots)
+    ]
+
+
+def reachable_page_ids(meta: bytes, read_page) -> set[int]:
+    """Every page id reachable from the slot directory's tree roots.
+
+    ``read_page(pid)`` must return the raw node payload of page ``pid``.
+    The walk decodes only node kinds and internal-cell child pointers, so
+    it works on raw file bytes without a pager; a malformed node raises
+    :class:`~repro.errors.PageError` naming the page.
+    """
+    live: set[int] = set()
+    for root_pid, _count in decode_slot_directory(meta):
+        if root_pid == 0:
+            continue
+        stack = [root_pid]
+        while stack:
+            pid = stack.pop()
+            if pid in live:  # shared page or cycle: visit once
+                continue
+            live.add(pid)
+            data = read_page(pid)
+            if not data:
+                raise PageError(f"page {pid}: empty node payload")
+            kind = data[0]
+            if kind == _LEAF:
+                continue
+            if kind != _INTERNAL:
+                raise PageError(f"page {pid} has unknown node type {kind:#x}")
+            (n,) = struct.unpack_from("<H", data, 1)
+            stack.append(struct.unpack_from("<Q", data, 3)[0])
+            off = _INTERNAL_HEADER
+            for _ in range(n):
+                klen, vlen = struct.unpack_from("<HH", data, off)
+                off += 4 + klen + vlen
+                stack.append(struct.unpack_from("<Q", data, off)[0])
+                off += 8
+    return live
 
 
 @dataclass
-class TreeStats:
+class TreeStats(MetricSet):
     """Size/shape statistics for one tree (used by the Figure 11 benches).
 
     ``descent_hits``/``descent_misses`` count root-to-leaf descents served

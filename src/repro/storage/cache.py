@@ -15,14 +15,19 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import PageError
+from repro.obs.metrics import MetricSet
 from repro.storage.pager import Pager
 
 __all__ = ["BufferPool", "CacheStats"]
 
 
 @dataclass
-class CacheStats:
-    """Counters exposed by :attr:`BufferPool.stats`."""
+class CacheStats(MetricSet):
+    """Counters exposed by :attr:`BufferPool.stats`.
+
+    Plain attributes on the hot path; the obs registry reads them via the
+    inherited :meth:`~repro.obs.metrics.MetricSet.snapshot`.
+    """
 
     hits: int = 0
     misses: int = 0

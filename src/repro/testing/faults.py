@@ -48,6 +48,7 @@ from repro.storage.wal import WalPager
 __all__ = [
     "SimulatedCrash",
     "CrashingWalPager",
+    "CrashingFreePager",
     "FlakyFilePager",
     "FaultOutcome",
     "FaultSweepReport",
@@ -147,6 +148,47 @@ class CrashingWalPager(WalPager):
             raise SimulatedCrash(self.crash_at, kind, self.torn)
         run()
         self.op_log.append(kind)
+
+
+# ---------------------------------------------------------------------------
+# interrupted free(): the page-leak window
+
+
+class CrashingFreePager(FilePager):
+    """A FilePager that dies between ``free()``'s slot write and header write.
+
+    ``free()`` first chains the page into the freelist by rewriting its
+    slot, then persists the new freelist head in the header.  After
+    :meth:`arm`, the next header write raises :class:`SimulatedCrash`
+    with the slot write already durable — exactly the crash window that
+    leaks a page: its slot holds a freelist next-pointer, but neither the
+    header's freelist head nor any tree references it.
+
+    Finish the simulated crash with :meth:`abandon` (fail-stop), never
+    ``close()`` — a clean close would rewrite the header and undo the
+    leak under test.
+    """
+
+    def __init__(self, path, page_size: int = DEFAULT_PAGE_SIZE, **kwargs) -> None:
+        self._armed = False
+        super().__init__(path, page_size, **kwargs)
+
+    def arm(self) -> None:
+        """Crash at the next header write (one-shot)."""
+        self._armed = True
+
+    def _write_header(self) -> None:
+        if self._armed:
+            self._armed = False
+            self._file.flush()
+            raise SimulatedCrash(0, ("header_write",), False)
+        super()._write_header()
+
+    def abandon(self) -> None:
+        """Fail-stop: release the handle without the close-time header write."""
+        self._file.flush()
+        self._file.close()
+        self._closed = True
 
 
 # ---------------------------------------------------------------------------

@@ -152,3 +152,64 @@ class TestSchemaHandling:
         assert "documents: 1" in out
         assert "combined:" in out
         assert "docid:" in out
+
+
+class TestExplainAndMetrics:
+    BRANCH_QUERY = "/purchases/purchase[buyer]//seller[location='boston']"
+
+    def _db(self, tmp_path, xml_file, capsys):
+        db = str(tmp_path / "db")
+        main(["index", db, str(xml_file), "--split", "purchase"])
+        capsys.readouterr()
+        return db
+
+    @pytest.mark.parametrize("engine", ["vist", "rist", "naive"])
+    def test_explain_prints_span_tree_per_engine(
+        self, tmp_path, xml_file, capsys, engine
+    ):
+        db = self._db(tmp_path, xml_file, capsys)
+        rc = main(
+            ["query", db, self.BRANCH_QUERY, "--explain", "--engine", engine]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 match(es)" in out
+        assert "query [" in out and "ms]" in out
+        assert "translate [" in out
+        assert "match alt 0 [" in out
+        if engine == "naive":
+            assert "naive-walk" in out and "search_states=" in out
+        else:
+            assert "level 0 [" in out
+            assert "page_reads=" in out and "candidates=" in out
+
+    def test_alternate_engines_translate_doc_ids(self, tmp_path, xml_file, capsys):
+        """RIST/Naive renumber internally; the CLI must answer with the
+        on-disk document ids (doc 1 here — doc 0's seller is in boston
+        but has no boston buyer)."""
+        db = self._db(tmp_path, xml_file, capsys)
+        query = "/purchases/purchase/buyer[location='boston']"
+        answers = set()
+        for engine in ("vist", "rist", "naive"):
+            main(["query", db, query, "--engine", engine])
+            out = capsys.readouterr().out
+            assert "1 match(es)" in out
+            answers.add(out[out.index(":") :])
+        assert len(answers) <= 2  # list vs set rendering; same single id
+        for engine in ("rist", "naive"):
+            main(["query", db, query, "--engine", engine])
+            assert "{1}" in capsys.readouterr().out
+
+    def test_stats_json_dumps_full_registry(self, tmp_path, xml_file, capsys):
+        import json as _json
+
+        db = self._db(tmp_path, xml_file, capsys)
+        main(["query", db, self.BRANCH_QUERY])
+        capsys.readouterr()
+        assert main(["stats", db, "--json"]) == 0
+        snap = _json.loads(capsys.readouterr().out)
+        assert snap["documents"] == 2
+        for key in ("health", "pager", "queries", "tree"):
+            assert key in snap, f"registry dump missing {key!r}"
+        assert snap["health"]["status"] == "ok"
+        assert set(snap["tree"]) == {"combined", "docid"}

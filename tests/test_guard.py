@@ -93,6 +93,30 @@ class TestQueryGuard:
             guard.step()
         assert guard.cancelled
 
+    def test_lazy_deadline_start_preserves_step_budget(self):
+        """Regression: ``check()``'s lazy clock start used to call
+        ``start()``, which wiped ``steps`` already counted — the first
+        deadline tick silently re-armed the step budget."""
+        guard = QueryGuard(deadline_ms=60_000, max_steps=3)
+        guard.step(2)  # ticks before anything started the clock
+        assert guard.steps == 2
+        with pytest.raises(QueryBudgetExceededError) as exc:
+            guard.step(2)
+        assert exc.value.limit == 3 and exc.value.used == 4
+
+    def test_lazy_deadline_start_preserves_page_counter(self):
+        """Same regression, page-read side: an explicit ``start()`` with a
+        counter followed by a deadline check must not detach the counter."""
+        reads = [0]
+        guard = QueryGuard(deadline_ms=60_000, max_page_reads=1)
+        guard.start(lambda: reads[0])
+        guard._t0 = None  # simulate the pre-start checked state
+        reads[0] += 2
+        with pytest.raises(QueryBudgetExceededError) as exc:
+            guard.check()
+        assert exc.value.resource == "page-read"
+        assert guard.page_reads == 2
+
 
 # ---------------------------------------------------------------------------
 # guard threading through the indexes
@@ -244,7 +268,22 @@ def test_health_report_shape():
     report = health.report()
     assert report["status"] == "read-suspect"
     assert report["events"] == [{"kind": "ValueError", "detail": "boom"}]
+    assert report["dropped_events"] == 0
     assert "read-suspect" in health.summary()
+
+
+def test_health_counts_events_dropped_past_the_cap():
+    """Sustained corruption keeps the report bounded but not silently so:
+    events past ``_MAX_EVENTS`` are counted, reported, and summarised."""
+    health = IndexHealth()
+    for i in range(40):
+        health.record_corruption(ValueError(f"e{i}"))
+    assert len(health.events) == IndexHealth._MAX_EVENTS == 32
+    assert health.dropped_events == 8
+    assert health.report()["dropped_events"] == 8
+    summary = health.summary()
+    assert "40 corruption event(s)" in summary
+    assert "8 more event(s) not retained" in summary
 
 
 # ---------------------------------------------------------------------------

@@ -265,3 +265,78 @@ def test_cached_batched_equals_uncached_recursive(seed, n_docs):
                 sorted((s.n, s.size) for s in m.final_scopes(qseq)) for m in matchers
             ]
             assert all(r == results[0] for r in results[1:]), q
+
+
+# ---------------------------------------------------------------------------
+# invalidate_entry staleness property (model-based)
+
+_LABELS = ("a", "b")
+_prefixes = st.lists(st.sampled_from(_LABELS), max_size=3).map(tuple)
+_cache_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), _prefixes),
+        st.tuples(st.just("remove"), _prefixes),
+        st.tuples(st.just("lookup"), _prefixes, st.integers(0, 3)),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=_cache_ops)
+def test_invalidate_entry_keeps_wildcard_groups_coherent(ops):
+    """Property: after any interleaving of inserts, removals, and lookups,
+    every cached group equals a cold recomputation from the model store.
+
+    The subtle case is wildcard groups: a lookup key ``(symbol, plen,
+    leading)`` with ``len(leading) < plen`` covers every entry whose
+    prefix *starts with* ``leading`` — so adding or removing an entry
+    must invalidate each cached key whose leading labels are a (proper)
+    prefix of the entry's, not just the exact-key group.
+    """
+    symbol = "E"
+    cache = PostingCache(capacity=64)
+    store: dict[tuple, list[Scope]] = {}
+    next_n = [0]
+
+    def cold(plen: int, leading: tuple) -> list[tuple[tuple, Scope]]:
+        return [
+            (prefix, scope)
+            for prefix, scopes in store.items()
+            if len(prefix) == plen and prefix[: len(leading)] == leading
+            for scope in scopes
+        ]
+
+    cached_keys: list[tuple[int, tuple]] = []
+    for op in ops:
+        if op[0] == "add":
+            prefix = op[1]
+            scope = Scope(next_n[0], 0)
+            next_n[0] += 10
+            store.setdefault(prefix, []).append(scope)
+            cache.invalidate_entry(symbol, prefix)
+        elif op[0] == "remove":
+            prefix = op[1]
+            if store.get(prefix):
+                store[prefix].pop()
+                cache.invalidate_entry(symbol, prefix)
+        else:
+            _, prefix, lead_len = op
+            leading = prefix[: min(lead_len, len(prefix))]
+            plen = len(prefix)
+            group = cache.lookup(
+                symbol, plen, leading, lambda: cold(plen, leading)
+            )
+            cached_keys.append((plen, leading))
+            want = sorted(cold(plen, leading), key=lambda e: e[1].n)
+            assert group.entries == want, (
+                f"stale group for plen={plen} leading={leading}"
+            )
+        # every group still resident must match a cold run right now
+        for plen, leading in cached_keys:
+            resident = cache._groups.get((symbol, plen, leading))
+            if resident is not None:
+                want = sorted(cold(plen, leading), key=lambda e: e[1].n)
+                assert resident.entries == want, (
+                    f"resident group went stale: plen={plen} leading={leading}"
+                )

@@ -290,3 +290,63 @@ def test_freed_pages_rejected_after_reopen(tmp_path, kind):
             pager.read(gone)
     finally:
         pager.close()
+
+
+# ---------------------------------------------------------------------------
+# storage accounting: interrupted free() leaks a page
+
+
+def test_interrupted_free_leaks_page_scrub_finds_salvage_reclaims(pristine, tmp_path):
+    """A crash between ``free()``'s slot write and header write orphans a
+    page: every checksum still verifies, yet the slot is neither live nor
+    on the freelist.  ``scrub`` must call it out and ``salvage`` must
+    rebuild without it."""
+    from repro.repair import scrub_page_reachability
+    from repro.testing.faults import CrashingFreePager, SimulatedCrash
+
+    pristine_dir, expected = pristine
+    dbdir = _copy_db(pristine_dir, tmp_path)
+    tree_path = dbdir / "vist.db"
+
+    pager = CrashingFreePager(tree_path)
+    victim = pager.allocate()  # fresh page: no tree references it
+    pager.arm()
+    with pytest.raises(SimulatedCrash):
+        pager.free(victim)
+    pager.abandon()  # fail-stop; close() would rewrite the header
+
+    # checksums are clean — a CRC walk alone cannot see the leak
+    assert scrub_page_file(tree_path).ok
+    reach = scrub_page_reachability(tree_path)
+    assert not reach.ok
+    assert any(f"page {victim}: LEAKED" in err for err in reach.errors)
+    report = scrub_db(dbdir)
+    assert not report.ok
+    assert any("LEAKED" in err for f in report.files for err in f.errors)
+
+    # the leak is invisible to queries (it holds no data), only to space
+    assert _check_queries_not_silently_wrong(dbdir, expected) == "clean"
+
+    salvage_report = salvage_db(dbdir)
+    assert salvage_report.replaced
+    assert any("reclaimed 1 leaked page" in note for note in salvage_report.notes)
+    after = scrub_db(dbdir)
+    assert after.ok
+    index = open_index(dbdir)
+    try:
+        for xpath, want in expected.items():
+            assert index.query(xpath, verify=True) == want
+    finally:
+        _close(index)
+
+
+def test_clean_database_has_no_leaks(pristine, tmp_path):
+    """The reachability walk accounts for every slot of a healthy index
+    (it contains freed pages from the tombstoned documents)."""
+    from repro.repair import scrub_page_reachability
+
+    pristine_dir, _ = pristine
+    dbdir = _copy_db(pristine_dir, tmp_path)
+    reach = scrub_page_reachability(dbdir / "vist.db")
+    assert reach.ok
+    assert any("no leaks" in note for note in reach.notes)
