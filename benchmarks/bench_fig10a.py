@@ -67,6 +67,7 @@ def test_fig10a_query_length(benchmark, setup, length):
         lambda: [matcher.final_scopes(qseq) for qseq in batch],
         rounds=2,
         iterations=1,
+        warmup_rounds=1,
     )
     per_query = benchmark.stats.stats.median / QUERIES_PER_LENGTH
     final_nodes = sum(len(r) for r in results)

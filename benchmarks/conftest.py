@@ -43,6 +43,13 @@ def pytest_configure(config):
         # build_index reads the env var, so module-scope fixtures built
         # before any test body see the switch too
         os.environ["REPRO_QUERY_CACHE"] = "0"
+    # Allocation sequences across a full benchmark run are deterministic,
+    # so cyclic-GC collections land at *fixed* points — and a gen-2 pause
+    # (tens of ms with eight module-scope indexes resident) that happens
+    # to fall inside one query's three timed rounds reads as a 4-5x
+    # regression of that query on every run.  Keep the collector off
+    # during timed rounds (pytest-benchmark re-enables it in between).
+    config.option.benchmark_disable_gc = True
 
 
 @pytest.fixture(scope="module", autouse=True)

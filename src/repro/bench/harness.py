@@ -33,6 +33,7 @@ __all__ = [
     "query_cache_enabled",
     "time_call",
     "time_queries",
+    "parallel_throughput",
     "Report",
     "bench_json_path",
     "metrics_snapshot",
@@ -103,6 +104,44 @@ def time_queries(index, queries: Sequence, repeats: int = 1) -> float:
         for query in queries:
             index.query(query)
     return time.perf_counter() - start
+
+
+def parallel_throughput(
+    index,
+    queries: Sequence,
+    threads: int = 4,
+    repeats: int = 1,
+    verify: bool = False,
+) -> dict:
+    """Single-thread vs N-thread throughput over one shared index.
+
+    Runs the workload once sequentially and once through a
+    :class:`~repro.exec.QueryExecutor`, and returns a dict suitable for
+    embedding in a ``BENCH_<name>.json`` payload.  ``errors`` counts
+    outcomes whose query raised; with the CPython GIL and this repo's
+    pure-Python matcher the speedup is bounded by how much of the work
+    releases the interpreter lock, so treat the number as a concurrency
+    smoke signal, not a scalability claim.
+    """
+    from repro.exec import QueryExecutor
+
+    workload = [query for _ in range(repeats) for query in queries]
+    single_seconds = time_queries(index, queries, repeats=repeats)
+    with QueryExecutor(index, threads=threads, verify=verify) as executor:
+        start = time.perf_counter()
+        outcomes = executor.run(workload)
+        parallel_seconds = time.perf_counter() - start
+    errors = sum(1 for outcome in outcomes if not outcome.ok)
+    return {
+        "threads": threads,
+        "queries": len(workload),
+        "single_thread_seconds": single_seconds,
+        "parallel_seconds": parallel_seconds,
+        "single_thread_qps": len(workload) / single_seconds if single_seconds else 0.0,
+        "parallel_qps": len(workload) / parallel_seconds if parallel_seconds else 0.0,
+        "speedup": single_seconds / parallel_seconds if parallel_seconds else 0.0,
+        "errors": errors,
+    }
 
 
 @dataclass

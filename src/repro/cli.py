@@ -160,7 +160,40 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         help="abort after this many pager reads (exit code 5)",
     )
+    p_query.add_argument(
+        "--parallel",
+        type=int,
+        metavar="N",
+        help="batch mode: run the query --repeat times across N worker "
+        "threads sharing the open index, and report the throughput",
+    )
+    p_query.add_argument(
+        "--repeat",
+        type=int,
+        default=100,
+        help="number of submissions in --parallel batch mode (default 100)",
+    )
     p_query.set_defaults(handler=_cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="line-oriented query loop: one XPath per stdin line, answered "
+        "by a pool of worker threads over one shared open index",
+    )
+    p_serve.add_argument("dbdir", type=Path)
+    p_serve.add_argument(
+        "--threads", type=int, default=4, help="worker threads (default 4)"
+    )
+    p_serve.add_argument("--verify", action="store_true", help="exact mode")
+    p_serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        help="per-query deadline (a fresh guard is built for every query)",
+    )
+    p_serve.add_argument(
+        "--max-steps", type=int, help="per-query matcher-step budget"
+    )
+    p_serve.set_defaults(handler=_cmd_serve)
 
     p_nodes = sub.add_parser("nodes", help="node-granularity query results")
     p_nodes.add_argument("dbdir", type=Path)
@@ -277,6 +310,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     index = open_index(args.dbdir)
     try:
         engine, idmap = _resolve_engine(index, args.engine)
+        if args.parallel:
+            return _run_parallel_query(args, engine, idmap)
         result = engine.query(args.xpath, verify=args.verify, guard=guard, trace=trace)
         if idmap is not None:
             result = {idmap[doc_id] for doc_id in result}
@@ -311,6 +346,119 @@ def _cmd_query(args: argparse.Namespace) -> int:
     finally:
         _close_index(index)
     return 0
+
+
+def _guard_factory(args: argparse.Namespace):
+    """Per-query guard builder for the concurrent paths, or ``None``.
+
+    A guard tracks one query at a time, so the executor needs a fresh
+    one per submission rather than the single shared instance the
+    sequential path uses.
+    """
+    deadline_ms = args.deadline_ms
+    max_steps = args.max_steps
+    max_page_reads = getattr(args, "max_page_reads", None)
+    if deadline_ms is None and max_steps is None and max_page_reads is None:
+        return None
+    return lambda: QueryGuard(
+        deadline_ms=deadline_ms,
+        max_steps=max_steps,
+        max_page_reads=max_page_reads,
+    )
+
+
+def _run_parallel_query(args: argparse.Namespace, engine, idmap) -> int:
+    """``query --parallel N``: the same query --repeat times over N threads."""
+    import time
+
+    from repro.exec import QueryExecutor
+
+    repeat = max(1, args.repeat)
+    queries = [args.xpath] * repeat
+    with QueryExecutor(
+        engine,
+        threads=args.parallel,
+        verify=args.verify,
+        guard_factory=_guard_factory(args),
+    ) as executor:
+        t0 = time.perf_counter()
+        outcomes = executor.run(queries)
+        elapsed = time.perf_counter() - t0
+    for outcome in outcomes:
+        outcome.unwrap()  # propagate guard/corruption errors to main()
+    distinct = {frozenset(outcome.result) for outcome in outcomes}
+    if len(distinct) != 1:
+        print(
+            f"error: {len(distinct)} distinct result sets across "
+            f"{repeat} identical parallel runs",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    result = set(outcomes[0].result)
+    if idmap is not None:
+        result = {idmap[doc_id] for doc_id in result}
+    mode = "verified" if args.verify else "raw"
+    if args.engine != "vist":
+        mode += f", {args.engine}"
+    print(f"{len(result)} match(es) ({mode}): {result}")
+    qps = repeat / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"parallel: {repeat} queries x {args.parallel} thread(s) "
+        f"in {elapsed:.3f}s ({qps:.0f} qps)"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Line-oriented query loop over one shared open index.
+
+    Output lines are emitted in submission order (``position`` is the
+    0-based input line among non-blank lines) even though the worker
+    pool completes them out of order.
+    """
+    from collections import deque
+
+    from repro.exec import QueryExecutor
+
+    index = open_index(args.dbdir)
+    served = 0
+    try:
+        with QueryExecutor(
+            index,
+            threads=args.threads,
+            verify=args.verify,
+            guard_factory=_guard_factory(args),
+        ) as executor:
+            pending: deque = deque()
+            for line in sys.stdin:
+                xpath = line.strip()
+                if not xpath or xpath.startswith("#"):
+                    continue
+                pending.append((xpath, executor.submit(xpath, position=served)))
+                served += 1
+                # drain whatever has already finished, in order, so the
+                # loop stays responsive without blocking on the newest
+                while pending and pending[0][1].done():
+                    _print_served(*pending.popleft())
+            while pending:
+                _print_served(*pending.popleft())
+    finally:
+        _close_index(index)
+    print(f"served {served} query/queries", file=sys.stderr)
+    return 0
+
+
+def _print_served(xpath: str, future) -> None:
+    outcome = future.result()
+    if outcome.ok:
+        result = outcome.result
+        print(
+            f"{outcome.position}\t{xpath}\t"
+            f"{len(result)} match(es): {sorted(result)}"
+        )
+    else:
+        print(f"{outcome.position}\t{xpath}\terror: {outcome.error}")
+    sys.stdout.flush()
 
 
 def _resolve_engine(index: VistIndex, kind: str):

@@ -1,0 +1,6 @@
+"""Concurrent query execution: the RW lock and the thread-pool executor."""
+
+from repro.exec.executor import QueryExecutor, QueryOutcome
+from repro.exec.locks import RWLock
+
+__all__ = ["QueryExecutor", "QueryOutcome", "RWLock"]

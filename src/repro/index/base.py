@@ -16,6 +16,7 @@ from typing import Iterable, Optional, Union
 
 from repro.doc.model import XmlDocument, XmlNode
 from repro.errors import CorruptionError, IndexStateError
+from repro.exec.locks import RWLock
 from repro.index.guard import IndexHealth, QueryGuard
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import QueryTrace
@@ -91,6 +92,12 @@ class XmlIndexBase:
         # in-flight query is re-answered through the docstore
         self.health = IndexHealth()
         self.degraded_fallback = True
+        # concurrency: queries run under the read side of this lock,
+        # mutations (add/remove/finalize/flush) under the write side, so
+        # every query sees the index as of its read-lock acquisition
+        # (snapshot isolation at the index boundary; see docs/INTERNALS.md
+        # section 11 and repro.exec.locks)
+        self.rwlock = RWLock()
         # observability: the per-index metrics registry.  Components add
         # their stat bundles as pull-only sources (nothing on the hot path
         # changes); `repro stats --json` dumps registry.snapshot().
@@ -108,15 +115,16 @@ class XmlIndexBase:
             root = document
         else:
             root = document.root
-        doc_id = self.add_sequence(self.encoder.encode_node(root))
-        if self.source_store is not None:
-            source_id = self.source_store.add(root.to_xml().encode("utf-8"))
-            if source_id != doc_id:
-                raise IndexStateError(
-                    f"source store id {source_id} diverged from doc id {doc_id}; "
-                    "the stores must be used by exactly one index"
-                )
-        return doc_id
+        with self.rwlock.write():
+            doc_id = self.add_sequence(self.encoder.encode_node(root))
+            if self.source_store is not None:
+                source_id = self.source_store.add(root.to_xml().encode("utf-8"))
+                if source_id != doc_id:
+                    raise IndexStateError(
+                        f"source store id {source_id} diverged from doc id {doc_id}; "
+                        "the stores must be used by exactly one index"
+                    )
+            return doc_id
 
     def add_all(self, documents: Iterable[Union[XmlDocument, XmlNode]]) -> list[int]:
         """Index many documents; returns their doc ids."""
@@ -172,47 +180,61 @@ class XmlIndexBase:
         times and counter deltas (``repro query --explain``).
         """
         root = parse_xpath(query) if isinstance(query, str) else query
+        # lazy structural work (e.g. RIST's first-query finalize) must run
+        # under the *write* lock, so it happens before the read section
+        self._prepare_for_query()
         if guard is not None:
+            # started before the lock so the deadline covers lock wait:
+            # a query stuck behind a long write still dies on time
             guard.start(self._page_read_counter())
-        self._m_queries.value += 1
-        t0 = time.perf_counter()
-        qspan = None
-        if trace is not None:
-            qspan = trace.begin(
-                "query", xpath=root.to_xpath(), engine=type(self).__name__
-            )
-        try:
-            result = self._query_indexed(root, verify, fallback, guard, trace)
-        except CorruptionError as exc:
-            if not self.degraded_fallback:
+        self._m_queries.inc()
+        with self.rwlock.read():
+            t0 = time.perf_counter()
+            qspan = None
+            if trace is not None:
+                qspan = trace.begin(
+                    "query", xpath=root.to_xpath(), engine=type(self).__name__
+                )
+            try:
+                result = self._query_indexed(root, verify, fallback, guard, trace)
+            except CorruptionError as exc:
+                if not self.degraded_fallback:
+                    if qspan is not None:
+                        trace.end(qspan, error=type(exc).__name__)
+                    raise
+                self.health.record_corruption(exc)
+                self._m_degraded.inc()
+                if trace is not None:
+                    # the error unwound past open match/level spans; close them
+                    # so the fallback span attaches to the query span itself
+                    trace.unwind_to(qspan)
+                    with trace.span(
+                        "degraded-fallback", reason=type(exc).__name__
+                    ) as dspan:
+                        result = self._degraded_query(root, guard)
+                        dspan.annotate(results=len(result))
+                else:
+                    result = self._degraded_query(root, guard)
+            except BaseException as exc:
                 if qspan is not None:
                     trace.end(qspan, error=type(exc).__name__)
                 raise
-            self.health.record_corruption(exc)
-            self._m_degraded.value += 1
-            if trace is not None:
-                # the error unwound past open match/level spans; close them
-                # so the fallback span attaches to the query span itself
-                trace.unwind_to(qspan)
-                with trace.span(
-                    "degraded-fallback", reason=type(exc).__name__
-                ) as dspan:
-                    result = self._degraded_query(root, guard)
-                    dspan.annotate(results=len(result))
-            else:
-                result = self._degraded_query(root, guard)
-        except BaseException as exc:
+            self._m_latency.observe((time.perf_counter() - t0) * 1000.0)
             if qspan is not None:
-                trace.end(qspan, error=type(exc).__name__)
-            raise
-        self._m_latency.observe((time.perf_counter() - t0) * 1000.0)
-        if qspan is not None:
-            meta: dict = {"results": len(result)}
-            if guard is not None:
-                meta["guard_steps"] = guard.steps
-                meta["guard_page_reads"] = guard.page_reads
-            trace.end(qspan, **meta)
-        return result
+                meta: dict = {"results": len(result)}
+                if guard is not None:
+                    meta["guard_steps"] = guard.steps
+                    meta["guard_page_reads"] = guard.page_reads
+                trace.end(qspan, **meta)
+            return result
+
+    def _prepare_for_query(self) -> None:
+        """Hook run by :meth:`query` *before* taking the read lock.
+
+        Indexes whose first query triggers structural work override this
+        to do that work under the write lock (RIST's lazy ``finalize``),
+        so nothing mutates shared structures inside a read section.
+        """
 
     def _query_indexed(
         self,
@@ -391,14 +413,16 @@ class XmlIndexBase:
         root = parse_xpath(query) if isinstance(query, str) else query
         needs_raw = query_needs_raw_values(root)
         out: dict[int, list[int]] = {}
-        for doc_id in self.query(root, verify=True):
-            if needs_raw:
-                sequence, raw = self._load_raw_sequence(doc_id)
-            else:
-                sequence, raw = self.load_sequence(doc_id), None
-            positions = find_result_nodes(sequence, root, self.encoder.hasher, raw)
-            if positions:
-                out[doc_id] = positions
+        self._prepare_for_query()
+        with self.rwlock.read():  # candidate query + per-doc reload, one snapshot
+            for doc_id in self.query(root, verify=True):
+                if needs_raw:
+                    sequence, raw = self._load_raw_sequence(doc_id)
+                else:
+                    sequence, raw = self.load_sequence(doc_id), None
+                positions = find_result_nodes(sequence, root, self.encoder.hasher, raw)
+                if positions:
+                    out[doc_id] = positions
         return out
 
     def _needs_verification(self, root: QueryNode) -> bool:

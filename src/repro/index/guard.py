@@ -6,8 +6,15 @@ external cancellation flag.  The matching layer calls :meth:`QueryGuard.step`
 at its loop points (one step per search state expanded and per D/S-Ancestor
 range query issued), so a runaway query — a pathological wildcard pattern, a
 corrupted tree that loops — is interrupted within a bounded amount of work
-rather than running forever.  Guards are single-use per query: the index
-calls :meth:`QueryGuard.start` when evaluation begins.
+rather than running forever.  A guard covers **one query at a time**: the
+index calls :meth:`QueryGuard.start` when evaluation begins, which resets
+every piece of per-query state — the step count, the page-read baseline,
+the lazily-armed deadline clock *and* a pending :meth:`QueryGuard.cancel`
+— so reusing a guard object across sequential queries is safe and a
+cancellation delivered to one query can never poison the next
+(:meth:`QueryGuard.reset` is the standalone form).  Concurrent queries
+must each use their own guard (the executor builds a fresh one per
+submission).
 
 :class:`IndexHealth` records what the corruption-defense layer observed.
 An index starts ``ok``; the first :class:`~repro.errors.CorruptionError`
@@ -62,11 +69,32 @@ class QueryGuard:
         self._pages0 = 0
 
     def start(self, page_counter: Optional[Callable[[], int]] = None) -> "QueryGuard":
-        """Begin timing; ``page_counter`` reports cumulative pager reads."""
+        """Begin one query: reset all per-query state and start timing.
+
+        ``page_counter`` reports cumulative pager reads.  A pending
+        :meth:`cancel` from a previous query is cleared — cancellation
+        targets the query in flight, not the guard object forever.
+        """
         self._t0 = time.monotonic()
         self.steps = 0
+        self._cancelled = False
         self._page_counter = page_counter
         self._pages0 = page_counter() if page_counter is not None else 0
+        return self
+
+    def reset(self) -> "QueryGuard":
+        """Return the guard to its pristine pre-:meth:`start` state.
+
+        Clears the step count, the cancellation flag, the page-read
+        baseline and the deadline clock — including a ``_t0`` that was
+        *lazily* armed by a :meth:`check` before any :meth:`start` (the
+        reuse leak this method exists to prevent).
+        """
+        self._t0 = None
+        self.steps = 0
+        self._cancelled = False
+        self._page_counter = None
+        self._pages0 = 0
         return self
 
     def cancel(self) -> None:

@@ -209,9 +209,13 @@ class SequenceMatcher:
     def __init__(self, host: MatchingHost, *, batched: bool = True) -> None:
         self.host = host
         self.batched = batched
-        self.stats = MatchStats()  # effort of the most recent match
-        self._guard = None  # active QueryGuard while a match runs
-        self._trace = None  # active QueryTrace while a match runs
+        # Effort of the most recent *completed* match.  Each match runs
+        # against its own private MatchStats (threaded through the call
+        # chain, never stored on self mid-flight) and publishes it here
+        # in one reference assignment at the end — concurrent matches
+        # cannot clobber each other's counters, and readers of
+        # `match_stats` always see one internally consistent bundle.
+        self.stats = MatchStats()
 
     def match(self, query: QuerySequence, guard=None, trace=None) -> set[int]:
         """All document ids containing the query sequence."""
@@ -243,39 +247,36 @@ class SequenceMatcher:
         time spent in data output after each range query on the DocId
         B+Tree").  ``match`` unions the DocId ranges of these scopes.
         """
-        self.stats.reset()
-        self._guard = guard
-        self._trace = trace
+        stats = MatchStats()  # private to this call; published at the end
         if guard is not None:
             guard.check()
         postings = getattr(self.host, "postings", None)
+        # cache-delta attribution is approximate under concurrency (the
+        # posting cache is shared, so other in-flight matches' traffic
+        # lands in the window too); exact for single-threaded runs
         before = (
             (postings.stats.hits, postings.stats.misses)
             if postings is not None
             else None
         )
-        try:
-            if self.batched:
-                finals = self._final_scopes_batched(query)
-            else:
-                finals = self._final_scopes_recursive(query)
-        finally:
-            self._guard = None
-            self._trace = None
+        if self.batched:
+            finals = self._final_scopes_batched(query, stats, guard, trace)
+        else:
+            finals = self._final_scopes_recursive(query, stats, guard, trace)
         if before is not None:
-            self.stats.cache_hits = postings.stats.hits - before[0]
-            self.stats.cache_misses = postings.stats.misses - before[1]
-        self.stats.final_nodes = len(finals)
-        return finals
+            stats.cache_hits = postings.stats.hits - before[0]
+            stats.cache_misses = postings.stats.misses - before[1]
+        stats.final_nodes = len(finals)
+        self.stats = stats  # one reference assignment: match_stats readers
+        return finals  # never see a half-filled bundle
 
-    def _final_scopes_batched(self, query: QuerySequence) -> list[Scope]:
+    def _final_scopes_batched(
+        self, query: QuerySequence, stats: MatchStats, guard, trace
+    ) -> list[Scope]:
         """Level-by-level frontier expansion with shared posting fetches."""
         items = query.items
         max_len = self.host.max_prefix_len()
-        guard = self._guard  # hoisted: the per-state tick must stay cheap
-        trace = self._trace  # hoisted: one span per level, never per state
         if trace is not None:
-            stats = self.stats
             pager = getattr(self.host, "_pager", None)
             postings = getattr(self.host, "postings", None)
         frontier: list[tuple[Scope, Bindings]] = [(self.host.root_scope(), ())]
@@ -293,13 +294,13 @@ class SequenceMatcher:
             next_frontier: list[tuple[Scope, Bindings]] = []
             seen: set[tuple[int, Bindings]] = set()
             for scope, bindings in frontier:
-                self.stats.search_states += 1
+                stats.search_states += 1
                 if guard is not None:
                     guard.step()
                 for child, new_bindings in self._candidates(
-                    qi, scope, bindings, max_len, groups
+                    qi, scope, bindings, max_len, stats, guard, groups
                 ):
-                    self.stats.candidates += 1
+                    stats.candidates += 1
                     state = (child.n, new_bindings)
                     if state not in seen:
                         seen.add(state)
@@ -328,15 +329,15 @@ class SequenceMatcher:
                 finals.append(scope)
         return finals
 
-    def _final_scopes_recursive(self, query: QuerySequence) -> list[Scope]:
+    def _final_scopes_recursive(
+        self, query: QuerySequence, stats: MatchStats, guard, trace
+    ) -> list[Scope]:
         """The paper's depth-first recursion (reference implementation)."""
         finals: list[Scope] = []
         seen_finals: set[int] = set()
         visited: set[tuple[int, int, Bindings]] = set()
         items = query.items
         max_len = self.host.max_prefix_len()
-        guard = self._guard
-        trace = self._trace
         if trace is not None:
             pager = getattr(self.host, "_pager", None)
             pages0 = pager.read_count if pager is not None else 0
@@ -352,12 +353,14 @@ class SequenceMatcher:
             if state in visited:
                 return
             visited.add(state)
-            self.stats.search_states += 1
+            stats.search_states += 1
             if guard is not None:
                 guard.step()
             qi = items[i]
-            for child_scope, new_bindings in self._candidates(qi, scope, bindings, max_len):
-                self.stats.candidates += 1
+            for child_scope, new_bindings in self._candidates(
+                qi, scope, bindings, max_len, stats, guard
+            ):
+                stats.candidates += 1
                 search(child_scope, i + 1, new_bindings)
 
         try:
@@ -366,9 +369,9 @@ class SequenceMatcher:
             if trace is not None:
                 trace.end(
                     walk_span,
-                    search_states=self.stats.search_states,
-                    range_queries=self.stats.range_queries,
-                    candidates=self.stats.candidates,
+                    search_states=stats.search_states,
+                    range_queries=stats.range_queries,
+                    candidates=stats.candidates,
                     final_scopes=len(finals),
                     page_reads=(
                         (pager.read_count - pages0) if pager is not None else 0
@@ -384,16 +387,19 @@ class SequenceMatcher:
         scope: Scope,
         bindings: Bindings,
         max_len: int,
+        stats: MatchStats,
+        guard,
         groups: Optional[GroupMemo] = None,
     ) -> Iterator[tuple[Scope, Bindings]]:
         leading, tail = resolve_pattern(qi.prefix, bindings)
-        guard = self._guard
         if not tail:
             # fully concrete prefix: a single D-Ancestor key, scope range
-            self.stats.range_queries += 1
+            stats.range_queries += 1
             if guard is not None:
                 guard.step()
-            for _, child in self._lookup(qi.symbol, len(leading), leading, scope, groups):
+            for _, child in self._lookup(
+                qi.symbol, len(leading), leading, scope, groups, stats
+            ):
                 yield child, bindings
             return
         min_extra = sum(1 for t in tail if isinstance(t, (str, Star)))
@@ -402,11 +408,11 @@ class SequenceMatcher:
         else:
             lengths = range(len(leading) + min_extra, max_len + 1)
         for plen in lengths:
-            self.stats.range_queries += 1
+            stats.range_queries += 1
             if guard is not None:
                 guard.step()
             for data_prefix, child in self._lookup(
-                qi.symbol, plen, leading, scope, groups
+                qi.symbol, plen, leading, scope, groups, stats
             ):
                 for new_bindings in match_prefix_pattern(
                     tail, data_prefix[len(leading) :], bindings
@@ -420,6 +426,7 @@ class SequenceMatcher:
         leading: tuple[str, ...],
         scope: Scope,
         groups: Optional[GroupMemo],
+        stats: MatchStats,
     ) -> Iterable[tuple[Prefix, Scope]]:
         """One D/S-Ancestor lookup, batched through the level memo."""
         if groups is None:
@@ -429,7 +436,7 @@ class SequenceMatcher:
         if group is None:
             groups[key] = group = self._fetch_group(symbol, prefix_len, leading)
         else:
-            self.stats.batched_states += 1
+            stats.batched_states += 1
         return group.select(scope)
 
     def _fetch_group(

@@ -21,6 +21,7 @@ when an entry is *added to* or *removed from* a group — which is what
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left, bisect_right
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -68,8 +69,11 @@ class PostingCacheStats(MetricSet):
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from memory (0.0 when never used)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        # snapshot both counters once: re-reading self.hits after summing
+        # can report a rate above 1.0 under concurrent increments
+        hits, misses = self.hits, self.misses
+        total = hits + misses
+        return hits / total if total else 0.0
 
 
 class PostingCache:
@@ -78,6 +82,14 @@ class PostingCache:
     ``capacity`` bounds the number of cached *groups* (one group can hold
     many postings; the hot working set of a query workload is a small
     number of distinct keys, so a group-count bound is the right knob).
+
+    Thread safety: the ``OrderedDict`` LRU moves and the symbol map are
+    guarded by a mutex — a hit *mutates* the LRU order, so even pure
+    readers race without it.  The lock is dropped while ``loader()``
+    scans the B+Tree (the slow part); two threads missing on the same
+    key may both load, and the first group installed wins (groups for
+    one key are interchangeable under the index's read lock, because
+    scope labels never change once assigned).
     """
 
     def __init__(self, capacity: int = 512) -> None:
@@ -88,10 +100,12 @@ class PostingCache:
         # symbol -> cached keys for that symbol, so invalidation does not
         # scan the whole cache on every insert/remove
         self._by_symbol: dict[Hashable, set[GroupKey]] = {}
+        self._lock = threading.Lock()
         self.stats = PostingCacheStats()
 
     def __len__(self) -> int:
-        return len(self._groups)
+        with self._lock:
+            return len(self._groups)
 
     def lookup(
         self,
@@ -102,20 +116,28 @@ class PostingCache:
     ) -> PostingGroup:
         """Return the cached group for the key, loading it on a miss."""
         key: GroupKey = (symbol, prefix_len, leading)
-        group = self._groups.get(key)
-        if group is not None:
-            self._groups.move_to_end(key)
-            self.stats.hits += 1
-            return group
-        self.stats.misses += 1
-        group = PostingGroup(loader())
-        self._groups[key] = group
-        self._by_symbol.setdefault(symbol, set()).add(key)
-        while len(self._groups) > self._capacity:
-            victim, _ = self._groups.popitem(last=False)
-            self.stats.evictions += 1
-            self._discard_symbol_key(victim)
-        return group
+        with self._lock:
+            group = self._groups.get(key)
+            if group is not None:
+                self._groups.move_to_end(key)
+                self.stats.hits += 1
+                return group
+            self.stats.misses += 1
+        loaded = PostingGroup(loader())  # tree scan runs outside the lock
+        with self._lock:
+            group = self._groups.get(key)
+            if group is not None:
+                # another thread loaded the same key while we scanned;
+                # keep its copy so every caller shares one resident group
+                self._groups.move_to_end(key)
+                return group
+            self._groups[key] = loaded
+            self._by_symbol.setdefault(symbol, set()).add(key)
+            while len(self._groups) > self._capacity:
+                victim, _ = self._groups.popitem(last=False)
+                self.stats.evictions += 1
+                self._discard_symbol_key(victim)
+            return loaded
 
     def invalidate_entry(self, symbol: Hashable, prefix: Prefix) -> None:
         """Drop every cached group that covers an entry with this prefix.
@@ -125,26 +147,28 @@ class PostingCache:
         prefix of ``prefix`` (the wildcard scans at that length), so only
         those keys go stale when such an entry appears or disappears.
         """
-        keys = self._by_symbol.get(symbol)
-        if not keys:
-            return
-        plen = len(prefix)
-        stale = [
-            key
-            for key in keys
-            if key[1] == plen and prefix[: len(key[2])] == key[2]
-        ]
-        for key in stale:
-            self._groups.pop(key, None)
-            keys.discard(key)
-            self.stats.invalidations += 1
-        if not keys:
-            del self._by_symbol[symbol]
+        with self._lock:
+            keys = self._by_symbol.get(symbol)
+            if not keys:
+                return
+            plen = len(prefix)
+            stale = [
+                key
+                for key in keys
+                if key[1] == plen and prefix[: len(key[2])] == key[2]
+            ]
+            for key in stale:
+                self._groups.pop(key, None)
+                keys.discard(key)
+                self.stats.invalidations += 1
+            if not keys:
+                del self._by_symbol[symbol]
 
     def clear(self) -> None:
         """Drop every cached group (bulk rebuilds, reopen)."""
-        self._groups.clear()
-        self._by_symbol.clear()
+        with self._lock:
+            self._groups.clear()
+            self._by_symbol.clear()
 
     def _discard_symbol_key(self, key: GroupKey) -> None:
         keys = self._by_symbol.get(key[0])

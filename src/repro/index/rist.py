@@ -68,14 +68,15 @@ class RistIndex(XmlIndexBase, CombinedTreeHost):
     # -- ingestion ---------------------------------------------------------
 
     def add_sequence(self, sequence: StructureEncodedSequence) -> int:
-        if self.trie is None or self._root_scope is not None:
-            raise IndexStateError(
-                "RIST labels are static: no additions after finalize()/query(); "
-                "rebuild the index or use VistIndex for dynamic data"
-            )
-        doc_id = self.docstore.add(self._sequence_to_payload(sequence))
-        self.trie.insert(sequence, doc_id)
-        return doc_id
+        with self.rwlock.write():
+            if self.trie is None or self._root_scope is not None:
+                raise IndexStateError(
+                    "RIST labels are static: no additions after finalize()/query(); "
+                    "rebuild the index or use VistIndex for dynamic data"
+                )
+            doc_id = self.docstore.add(self._sequence_to_payload(sequence))
+            self.trie.insert(sequence, doc_id)
+            return doc_id
 
     def finalize(self) -> None:
         """Label the trie and bulk-load the B+Trees (steps 2 and 3).
@@ -84,6 +85,21 @@ class RistIndex(XmlIndexBase, CombinedTreeHost):
         makes RIST a batch build, so it gets the batch-build fast path.
         """
         if self._root_scope is not None:
+            # fast path out of the lazy call sites (root_scope,
+            # match_sequence): already finalized, no lock needed — and
+            # must not be taken, since those run inside read sections
+            return
+        with self.rwlock.write():
+            self._finalize_locked()
+
+    def _prepare_for_query(self) -> None:
+        # the first query finalizes the trie — a structural *write* that
+        # must not happen inside the read section base.query is about to
+        # open; run it under the write lock up front
+        self.finalize()
+
+    def _finalize_locked(self) -> None:
+        if self._root_scope is not None:  # double-checked under the lock
             return
         if self.trie is None:
             raise IndexStateError("index already finalized and trie released")

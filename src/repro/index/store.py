@@ -175,7 +175,10 @@ class CombinedTreeHost:
             return
         matcher = getattr(self, "_matcher", None)
         if matcher is not None:
-            metrics.register("match", matcher.stats)
+            # read through the matcher, not the stats object: each match
+            # publishes a fresh MatchStats bundle (swapped by reference),
+            # so a captured object would go stale after the first query
+            metrics.register("match", lambda: matcher.stats.snapshot())
         if self.postings is not None:
             postings = self.postings
             metrics.register("postings", postings.stats)

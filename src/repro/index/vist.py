@@ -114,6 +114,10 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
     # ingestion (Algorithm 4)
 
     def add_sequence(self, sequence: StructureEncodedSequence) -> int:
+        with self.rwlock.write():  # one insert at a time, excluded from reads
+            return self._add_sequence_locked(sequence)
+
+    def _add_sequence_locked(self, sequence: StructureEncodedSequence) -> int:
         if len(sequence) == 0:
             raise IndexStateError("cannot index an empty sequence")
         self._validate_key_sizes(sequence)
@@ -290,6 +294,10 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
             raise IndexStateError(
                 "deletion requires track_refs=True (reference counting)"
             )
+        with self.rwlock.write():
+            self._remove_locked(doc_id)
+
+    def _remove_locked(self, doc_id: int) -> None:
         sequence, labels = self._parse_payload(self.docstore.get(doc_id))
         removed = self._detach_doc(labels[-1], doc_id)
         if removed == 0:
@@ -358,14 +366,16 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
 
     def flush(self) -> None:
         """Persist both B+Trees (and through them the pager)."""
-        self.tree.flush()
-        self.docid_tree.flush()
-        self._pager.sync()
+        with self.rwlock.write():
+            self.tree.flush()
+            self.docid_tree.flush()
+            self._pager.sync()
 
     def close(self) -> None:
-        self.tree.close()
-        self.docid_tree.close()
-        self._pager.close()
+        with self.rwlock.write():
+            self.tree.close()
+            self.docid_tree.close()
+            self._pager.close()
 
     def index_stats(self) -> dict[str, TreeStats]:
         """Per-tree size statistics (Figure 11(a))."""

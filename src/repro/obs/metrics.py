@@ -21,6 +21,7 @@ Design constraints (in priority order):
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Callable, Optional, Union
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricSet", "MetricsRegistry"]
@@ -29,18 +30,22 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricSet", "MetricsRegistry"]
 class Counter:
     """A monotonically increasing count.
 
-    ``value`` is a public plain attribute so hoisted-local hot paths may
-    do ``counter.value += 1`` directly; :meth:`inc` is the readable form
-    for everywhere else.
+    :meth:`inc` is locked, so counts survive concurrent increment exactly
+    (``value += 1`` compiles to a read-modify-write that drops updates
+    under thread interleaving).  ``value`` stays a public attribute for
+    single-threaded hoisted-local hot paths that knowingly trade exactness
+    for speed; shared counters must use :meth:`inc`.
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def snapshot(self) -> int:
         return self.value
@@ -70,7 +75,8 @@ class Histogram:
     remain exact over the full lifetime).
     """
 
-    __slots__ = ("count", "total", "min", "max", "_samples", "_cursor", "_cap")
+    __slots__ = ("count", "total", "min", "max", "_samples", "_cursor", "_cap",
+                 "_lock")
 
     def __init__(self, max_samples: int = 1024) -> None:
         if max_samples < 1:
@@ -82,38 +88,55 @@ class Histogram:
         self._samples: list[float] = []
         self._cursor = 0
         self._cap = max_samples
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        if len(self._samples) < self._cap:
-            self._samples.append(value)
-        else:
-            self._samples[self._cursor] = value
-            self._cursor = (self._cursor + 1) % self._cap
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            if len(self._samples) < self._cap:
+                self._samples.append(value)
+            else:
+                self._samples[self._cursor] = value
+                self._cursor = (self._cursor + 1) % self._cap
 
     def percentile(self, q: float) -> Optional[float]:
         """Nearest-rank percentile over the reservoir (``q`` in [0, 100])."""
-        if not self._samples:
+        with self._lock:
+            samples = list(self._samples)  # sort a copy, not the live slot list
+        if not samples:
             return None
-        ordered = sorted(self._samples)
-        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
-        return ordered[rank]
+        samples.sort()
+        rank = max(0, min(len(samples) - 1, round(q / 100.0 * (len(samples) - 1))))
+        return samples[rank]
 
     def snapshot(self) -> dict:
+        with self._lock:
+            count, total = self.count, self.total
+            lo, hi = self.min, self.max
+            samples = list(self._samples)
+        samples.sort()
+
+        def rank_of(q: float) -> Optional[float]:
+            if not samples:
+                return None
+            rank = max(0, min(len(samples) - 1,
+                              round(q / 100.0 * (len(samples) - 1))))
+            return samples[rank]
+
         return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min,
-            "max": self.max,
-            "mean": (self.total / self.count) if self.count else None,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+            "count": count,
+            "sum": total,
+            "min": lo,
+            "max": hi,
+            "mean": (total / count) if count else None,
+            "p50": rank_of(50),
+            "p95": rank_of(95),
+            "p99": rank_of(99),
         }
 
 
@@ -162,6 +185,10 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._sources: dict[str, Source] = {}
+        # registration can race a snapshot (`repro stats --json` under
+        # load); the lock plus the snapshot's item-list copy keep the
+        # dump free of "dict changed size during iteration"
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         """Create (or return the existing) counter under ``name``."""
@@ -171,36 +198,41 @@ class MetricsRegistry:
         return self._own(name, Gauge)
 
     def histogram(self, name: str, max_samples: int = 1024) -> Histogram:
-        existing = self._sources.get(name)
-        if existing is not None:
-            if not isinstance(existing, Histogram):
-                raise ValueError(f"metric {name!r} already registered as "
-                                 f"{type(existing).__name__}")
-            return existing
-        metric = Histogram(max_samples)
-        self._sources[name] = metric
-        return metric
+        with self._lock:
+            existing = self._sources.get(name)
+            if existing is not None:
+                if not isinstance(existing, Histogram):
+                    raise ValueError(f"metric {name!r} already registered as "
+                                     f"{type(existing).__name__}")
+                return existing
+            metric = Histogram(max_samples)
+            self._sources[name] = metric
+            return metric
 
     def _own(self, name: str, cls):
-        existing = self._sources.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise ValueError(f"metric {name!r} already registered as "
-                                 f"{type(existing).__name__}")
-            return existing
-        metric = cls()
-        self._sources[name] = metric
-        return metric
+        with self._lock:
+            existing = self._sources.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(f"metric {name!r} already registered as "
+                                     f"{type(existing).__name__}")
+                return existing
+            metric = cls()
+            self._sources[name] = metric
+            return metric
 
     def register(self, name: str, source: Source) -> None:
         """Attach an external source (stat bundle, callable, sub-registry)."""
-        self._sources[name] = source
+        with self._lock:
+            self._sources[name] = source
 
     def unregister(self, name: str) -> None:
-        self._sources.pop(name, None)
+        with self._lock:
+            self._sources.pop(name, None)
 
     def names(self) -> list[str]:
-        return sorted(self._sources)
+        with self._lock:
+            return sorted(self._sources)
 
     def snapshot(self) -> dict:
         """The full registry as a nested JSON-ready dict.
@@ -210,9 +242,10 @@ class MetricsRegistry:
         surface as an ``"<error: ...>"`` string instead of aborting the
         dump — an observability read must never take the process down.
         """
+        with self._lock:
+            sources = sorted(self._sources.items())  # stable copy to walk
         out: dict = {}
-        for name in sorted(self._sources):
-            source = self._sources[name]
+        for name, source in sources:
             try:
                 if callable(source) and not hasattr(source, "snapshot"):
                     value = source()

@@ -25,8 +25,16 @@ Concurrency and caching
 Nodes are decoded once and cached in memory; dirty nodes are written back
 on :meth:`BPlusTree.flush` / :meth:`BPlusTree.close` or on an explicit
 :meth:`BPlusTree.checkpoint`, which may also drop the cache at a quiescent
-point.  The tree is single-writer, no-concurrent-readers — the same
-operating envelope the paper's experiments use.
+point.  The tree is **single-writer**: mutation is serialised by the
+owning index's readers–writer lock (:class:`repro.exec.locks.RWLock`),
+the same operating envelope the paper's experiments use.  Concurrent
+*readers* are tolerated by construction on the lookup path: the
+last-descent cache is a single atomically-swapped immutable
+:class:`_DescentSlot` that carries its own structure version and is
+re-validated after the leaf is fetched, so a reader that raced a writer
+retries the full descent instead of trusting a stale slot, and the
+leaf-chain walk in :meth:`BPlusTree._seek` recovers from landing on a
+leaf that a concurrent split has since divided.
 """
 
 from __future__ import annotations
@@ -51,6 +59,27 @@ _SLOT_SIZE = struct.calcsize(_SLOT_FMT)
 _META_FMT = "<H"  # number of slots
 
 Pair = tuple[bytes, bytes]
+
+
+class _DescentSlot:
+    """One remembered descent: routing separators + leaf, version-stamped.
+
+    Immutable after construction and swapped into ``BPlusTree._descent``
+    as a whole, so a concurrent reader either sees a complete slot or
+    ``None`` — never a half-updated ``(version, lo, hi, pid)`` tuple.
+    The stamped ``version`` makes validation a single comparison against
+    the tree's current structure version.
+    """
+
+    __slots__ = ("version", "lo", "hi", "pid")
+
+    def __init__(
+        self, version: int, lo: Optional[Pair], hi: Optional[Pair], pid: int
+    ) -> None:
+        self.version = version
+        self.lo = lo
+        self.hi = hi
+        self.pid = pid
 
 __all__ = [
     "BPlusTree",
@@ -190,11 +219,12 @@ class BPlusTree:
         self._cache: dict[int, _Node] = {}
         self._dirty: set[int] = set()
         self._closed = False
-        # Last-descent cache: (structure version, lo sep, hi sep, leaf pid).
-        # Consecutive seeks over nearby keys — Algorithm 2's dominant
-        # pattern — reuse the leaf when the seek bound still falls between
-        # the separators that routed the previous descent.
-        self._descent: Optional[tuple[int, Optional[Pair], Optional[Pair], int]] = None
+        # Last-descent cache.  Consecutive seeks over nearby keys —
+        # Algorithm 2's dominant pattern — reuse the leaf when the seek
+        # bound still falls between the separators that routed the
+        # previous descent.  Held as one immutable _DescentSlot so
+        # concurrent readers can never observe a torn update.
+        self._descent: Optional[_DescentSlot] = None
         self._structure_version = 0
         self.descent_hits = 0
         self.descent_misses = 0
@@ -707,7 +737,9 @@ class BPlusTree:
                         hi = node.seps[idx]
                     node = self._node(node.children[idx])
                 assert isinstance(node, _Leaf)
-                self._descent = (self._structure_version, lo, hi, node.pid)
+                self._descent = _DescentSlot(
+                    self._structure_version, lo, hi, node.pid
+                )
                 self.descent_misses += 1
             else:
                 self.descent_hits += 1
@@ -731,21 +763,35 @@ class BPlusTree:
 
     def _cached_descent(self, bound: Pair) -> Optional[_Leaf]:
         """Re-validate the last descent: structure unchanged and ``bound``
-        still between the routing separators means the same leaf."""
-        cached = self._descent
-        if cached is None or cached[0] != self._structure_version:
+        still between the routing separators means the same leaf.
+
+        The slot is loaded exactly once (it may be swapped by another
+        seek at any moment) and its version is checked again *after* the
+        leaf fetch: a writer that bumped the structure version while the
+        page was being loaded invalidates the reuse, and the caller
+        retries with a full descent instead of trusting a stale leaf.
+        """
+        slot = self._descent  # single load of the atomically-swapped slot
+        if slot is None or slot.version != self._structure_version:
             return None
-        _, lo, hi, pid = cached
-        if (lo is None or lo <= bound) and (hi is None or bound < hi):
-            node = self._node(pid)
+        if (slot.lo is None or slot.lo <= bound) and (
+            slot.hi is None or bound < slot.hi
+        ):
+            node = self._node(slot.pid)
+            if slot.version != self._structure_version:
+                return None  # raced a structural change mid-fetch: retry
             if isinstance(node, _Leaf):
                 return node
         return None
 
     def _bump_structure_version(self) -> None:
-        """Invalidate the descent cache (any split/merge/entry movement)."""
-        self._structure_version += 1
+        """Invalidate the descent cache (any split/merge/entry movement).
+
+        The slot is cleared *before* the version bump so a concurrent
+        reader can never pair the old slot with the new version number.
+        """
         self._descent = None
+        self._structure_version += 1
 
     @property
     def structure_version(self) -> int:
@@ -757,8 +803,11 @@ class BPlusTree:
     @property
     def descent_hit_rate(self) -> float:
         """Fraction of seeks that skipped the interior walk."""
-        total = self.descent_hits + self.descent_misses
-        return self.descent_hits / total if total else 0.0
+        # snapshot both counters once: re-reading them under concurrent
+        # increment can report a rate above 1.0
+        hits, misses = self.descent_hits, self.descent_misses
+        total = hits + misses
+        return hits / total if total else 0.0
 
     # ------------------------------------------------------------------
     # deletion internals

@@ -7,10 +7,17 @@ manager: reads hit the cache, writes dirty the cached copy, and eviction or
 ``sync()`` pushes dirty pages down to the backing pager.
 
 The pool also counts hits/misses/evictions, which the benchmarks report.
+
+Thread safety: every pool operation runs under one internal ``RLock``.
+The LRU *mutates on reads* (``move_to_end``), so even two concurrent
+readers race without it — and the concurrent query path shares one pool
+across all executor workers.  The lock is re-entrant because a miss can
+re-enter the pool through the base pager in fault-injection harnesses.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -37,8 +44,11 @@ class CacheStats(MetricSet):
     @property
     def hit_rate(self) -> float:
         """Fraction of reads served from the cache (0.0 when never read)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        # snapshot both counters once: re-reading self.hits after summing
+        # can report a rate above 1.0 under concurrent increments
+        hits, misses = self.hits, self.misses
+        total = hits + misses
+        return hits / total if total else 0.0
 
 
 class BufferPool(Pager):
@@ -56,6 +66,7 @@ class BufferPool(Pager):
         self._capacity = capacity
         self._pages: OrderedDict[int, bytes] = OrderedDict()
         self._dirty: set[int] = set()
+        self._lock = threading.RLock()
         self.stats = CacheStats()
         self.page_size = base.page_size
         self.read_count = 0
@@ -68,33 +79,37 @@ class BufferPool(Pager):
     # -- Pager interface -------------------------------------------------
 
     def allocate(self) -> int:
-        pid = self._base.allocate()
-        self._install(pid, b"\x00" * self.page_size, dirty=False)
-        return pid
+        with self._lock:
+            pid = self._base.allocate()
+            self._install(pid, b"\x00" * self.page_size, dirty=False)
+            return pid
 
     def read(self, page_id: int) -> bytes:
-        self.read_count += 1
-        cached = self._pages.get(page_id)
-        if cached is not None:
-            self._pages.move_to_end(page_id)
-            self.stats.hits += 1
-            return cached
-        self.stats.misses += 1
-        # Checksum verification rides this miss path: the base pager
-        # raises CorruptPageError *before* _install runs, so a frame
-        # that failed its verify is never cached (and never re-served).
-        data = self._base.read(page_id)
-        self._install(page_id, data, dirty=False)
-        return data
+        with self._lock:
+            self.read_count += 1
+            cached = self._pages.get(page_id)
+            if cached is not None:
+                self._pages.move_to_end(page_id)
+                self.stats.hits += 1
+                return cached
+            self.stats.misses += 1
+            # Checksum verification rides this miss path: the base pager
+            # raises CorruptPageError *before* _install runs, so a frame
+            # that failed its verify is never cached (and never re-served).
+            data = self._base.read(page_id)
+            self._install(page_id, data, dirty=False)
+            return data
 
     def write(self, page_id: int, data: bytes) -> None:
         data = self._check_data(data)
-        self._install(page_id, data, dirty=True)
+        with self._lock:
+            self._install(page_id, data, dirty=True)
 
     def free(self, page_id: int) -> None:
-        self._pages.pop(page_id, None)
-        self._dirty.discard(page_id)
-        self._base.free(page_id)
+        with self._lock:
+            self._pages.pop(page_id, None)
+            self._dirty.discard(page_id)
+            self._base.free(page_id)
 
     def get_metadata(self) -> bytes:
         return self._base.get_metadata()
@@ -107,21 +122,24 @@ class BufferPool(Pager):
         return self._base.page_count
 
     def sync(self) -> None:
-        self.flush()
-        self._base.sync()
+        with self._lock:
+            self.flush()
+            self._base.sync()
 
     def close(self) -> None:
-        self.flush()
-        self._base.close()
+        with self._lock:
+            self.flush()
+            self._base.close()
 
     # -- cache mechanics -------------------------------------------------
 
     def flush(self) -> None:
         """Write every dirty page back to the base pager (keeps them cached)."""
-        for pid in sorted(self._dirty):
-            self._base.write(pid, self._pages[pid])
-            self.stats.writebacks += 1
-        self._dirty.clear()
+        with self._lock:
+            for pid in sorted(self._dirty):
+                self._base.write(pid, self._pages[pid])
+                self.stats.writebacks += 1
+            self._dirty.clear()
 
     def _install(self, page_id: int, data: bytes, dirty: bool) -> None:
         self._pages[page_id] = data

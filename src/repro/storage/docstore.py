@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 from typing import Iterator, Optional
 
 from repro.errors import CorruptRecordError, StorageError
@@ -180,6 +181,11 @@ class FileDocStore(DocStore):
             if magic != _DOC_MAGIC:
                 migrate_v1_docstore(self.path)
         self._file = open(self.path, "r+b" if existing else "w+b")
+        # seek+read/seek+write on the shared handle are two-step critical
+        # sections; verified queries load payloads from worker threads, so
+        # every record access funnels through this lock (RLock: compact()
+        # re-enters via get())
+        self._io_lock = threading.RLock()
         self._offsets: list[Optional[int]] = []
         self._live = 0
         self._closed = False
@@ -217,24 +223,26 @@ class FileDocStore(DocStore):
 
     def add(self, payload: bytes) -> int:
         self._ensure_open()
-        self._file.seek(0, os.SEEK_END)
-        pos = self._file.tell()
-        self._file.write(struct.pack(_LEN_FMT, len(payload)))
-        self._file.write(struct.pack(_LEN_FMT, page_checksum(payload)))
-        self._file.write(payload)
-        doc_id = len(self._offsets)
-        self._offsets.append(pos)
-        self._live += 1
-        return doc_id
+        with self._io_lock:
+            self._file.seek(0, os.SEEK_END)
+            pos = self._file.tell()
+            self._file.write(struct.pack(_LEN_FMT, len(payload)))
+            self._file.write(struct.pack(_LEN_FMT, page_checksum(payload)))
+            self._file.write(payload)
+            doc_id = len(self._offsets)
+            self._offsets.append(pos)
+            self._live += 1
+            return doc_id
 
     def get(self, doc_id: int) -> bytes:
         self._ensure_open()
         offset = self._offset(doc_id)
-        self._file.seek(offset)
-        length, stored = struct.unpack("<2I", self._file.read(_RECORD_HEADER))
-        if length == _TOMBSTONE:
-            raise StorageError(f"document {doc_id} was deleted")
-        payload = self._file.read(length)
+        with self._io_lock:
+            self._file.seek(offset)
+            length, stored = struct.unpack("<2I", self._file.read(_RECORD_HEADER))
+            if length == _TOMBSTONE:
+                raise StorageError(f"document {doc_id} was deleted")
+            payload = self._file.read(length)
         if len(payload) != length:
             raise StorageError(
                 f"{self.path}: truncated payload for doc {doc_id} at offset "
@@ -248,15 +256,16 @@ class FileDocStore(DocStore):
     def remove(self, doc_id: int) -> None:
         self._ensure_open()
         offset = self._offset(doc_id)
-        self._file.seek(offset)
-        (length,) = struct.unpack(_LEN_FMT, self._file.read(_LEN_SIZE))
-        if length == _TOMBSTONE:
-            raise StorageError(f"document {doc_id} already deleted")
-        self._file.seek(offset)
-        self._file.write(struct.pack(_LEN_FMT, _TOMBSTONE))
-        self._file.write(struct.pack(_LEN_FMT, length))
-        self._offsets[doc_id] = None
-        self._live -= 1
+        with self._io_lock:
+            self._file.seek(offset)
+            (length,) = struct.unpack(_LEN_FMT, self._file.read(_LEN_SIZE))
+            if length == _TOMBSTONE:
+                raise StorageError(f"document {doc_id} already deleted")
+            self._file.seek(offset)
+            self._file.write(struct.pack(_LEN_FMT, _TOMBSTONE))
+            self._file.write(struct.pack(_LEN_FMT, length))
+            self._offsets[doc_id] = None
+            self._live -= 1
 
     def __contains__(self, doc_id: int) -> bool:
         return 0 <= doc_id < len(self._offsets) and self._offsets[doc_id] is not None
@@ -280,6 +289,10 @@ class FileDocStore(DocStore):
         per deletion instead of the full payload.
         """
         self._ensure_open()
+        with self._io_lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> int:
         tmp_path = self.path + ".compact"
         new_offsets: list[Optional[int]] = []
         with open(tmp_path, "w+b") as out:

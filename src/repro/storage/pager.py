@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import time
 from typing import Optional
 
@@ -355,6 +356,11 @@ class FilePager(Pager):
         self.path = os.fspath(path)
         self.read_count = 0
         self._io_attempts = io_attempts
+        # seek()+read() on one shared file handle is a two-step critical
+        # section: two threads interleaving them read the wrong offset.
+        # Cache misses from concurrent queries funnel down here, so the
+        # raw primitives serialise on this lock.
+        self._io_lock = threading.Lock()
         existing = os.path.exists(self.path) and os.path.getsize(self.path) > 0
         if existing and self._peek_version() == 1:
             migrate_v1_page_file(self.path)
@@ -422,12 +428,14 @@ class FilePager(Pager):
     # -- raw I/O primitives (overridden by fault-injection harnesses) ----
 
     def _read_at(self, offset: int, length: int) -> bytes:
-        self._file.seek(offset)
-        return self._file.read(length)
+        with self._io_lock:
+            self._file.seek(offset)
+            return self._file.read(length)
 
     def _write_at(self, offset: int, data: bytes) -> None:
-        self._file.seek(offset)
-        self._file.write(data)
+        with self._io_lock:
+            self._file.seek(offset)
+            self._file.write(data)
 
     def _read_at_retrying(self, offset: int, length: int) -> bytes:
         """``_read_at`` with exponential backoff over transient faults."""

@@ -104,6 +104,65 @@ class TestQueryGuard:
             guard.step(2)
         assert exc.value.limit == 3 and exc.value.used == 4
 
+    def test_cancelled_guard_does_not_poison_the_next_query(self):
+        """Regression: a pending ``cancel()`` used to survive into the
+        next ``start()``, so a guard cancelled once was cancelled forever
+        and the following (innocent) query died immediately."""
+        guard = QueryGuard().start()
+        guard.cancel()
+        with pytest.raises(QueryCancelledError):
+            guard.step()
+        guard.start()  # next query reuses the guard
+        guard.step(100)  # must not raise
+        assert not guard.cancelled
+        assert guard.steps == 100
+
+    def test_reset_clears_lazily_armed_clock_and_cancellation(self):
+        """``reset()`` returns the guard to its pristine state, including
+        a ``_t0`` armed lazily by ``check()`` before any ``start()``."""
+        guard = QueryGuard(deadline_ms=60_000, max_steps=5)
+        guard.step(2)  # check() lazily arms the deadline clock
+        assert guard._t0 is not None
+        guard.cancel()
+        guard.reset()
+        assert guard._t0 is None
+        assert guard.steps == 0
+        assert not guard.cancelled
+        guard.step(5)  # the full step budget is available again
+        with pytest.raises(QueryBudgetExceededError):
+            guard.step()
+
+    def test_cross_thread_cancel_hits_query_in_flight(self):
+        """The executor contract: cancel() from another thread kills the
+        query at its next tick, and only that query."""
+        import threading
+
+        guard = QueryGuard().start()
+        ticking = threading.Event()
+
+        def victim():
+            while True:
+                guard.step()
+                ticking.set()
+
+        errors: list[BaseException] = []
+
+        def run():
+            try:
+                victim()
+            except BaseException as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        assert ticking.wait(10)
+        guard.cancel()
+        thread.join(10)
+        assert not thread.is_alive()
+        assert isinstance(errors[0], QueryCancelledError)
+        guard.start()  # and the guard is reusable afterwards
+        guard.step()
+
     def test_lazy_deadline_start_preserves_page_counter(self):
         """Same regression, page-read side: an explicit ``start()`` with a
         counter followed by a deadline check must not detach the counter."""
