@@ -29,6 +29,7 @@ from repro.bench.harness import (
     metrics_snapshot,
     parallel_throughput,
     query_cache_enabled,
+    sharded_throughput,
 )
 from repro.bench.workloads import TABLE3_QUERIES
 from repro.datasets.dblp import DblpConfig, DblpGenerator
@@ -50,6 +51,7 @@ _rows: dict[str, dict[str, float]] = {}
 _matches: dict[str, int] = {}
 _match_stats: dict[str, dict] = {}
 _vist_indexes: dict[str, object] = {}
+_corpus_docs: dict[str, list] = {}  # stashed for the sharded block
 
 
 @pytest.fixture(scope="module")
@@ -64,6 +66,7 @@ def corpora():
         "xmark": list(xmark.records(N_XMARK)),
     }
     schemas = {"dblp": dblp.schema, "xmark": xmark.schema}
+    _corpus_docs.update(docs)
     return docs, schemas
 
 
@@ -131,12 +134,19 @@ def bench_json_payload():
     # executor vs the sequential loop over the same shared index.  Runs
     # after the timed rounds so it cannot perturb headline_seconds.
     parallel = None
-    if "dblp" in _vist_indexes:
-        dblp_queries = [q.xpath for q in TABLE3_QUERIES if q.dataset == "dblp"]
-        if dblp_queries:
-            parallel = parallel_throughput(
-                _vist_indexes["dblp"], dblp_queries, threads=4, repeats=3
-            )
+    sharded = None
+    dblp_queries = [q.xpath for q in TABLE3_QUERIES if q.dataset == "dblp"]
+    if "dblp" in _vist_indexes and dblp_queries:
+        parallel = parallel_throughput(
+            _vist_indexes["dblp"], dblp_queries, threads=4, repeats=3
+        )
+    if "dblp" in _corpus_docs and dblp_queries:
+        # the process-parallel counterpart: same workload scatter-gathered
+        # over 1/2/4 per-shard worker processes (threads above stay as the
+        # GIL-bound contrast).  Interpret speedup against cpu_count.
+        sharded = sharded_throughput(
+            _corpus_docs["dblp"], dblp_queries, workers_list=(1, 2, 4), repeats=3
+        )
     payload = {
         "config": {
             "n_dblp": N_DBLP,
@@ -147,6 +157,7 @@ def bench_json_payload():
         "queries": queries,
         "headline_seconds": headline,
         "parallel": parallel,
+        "sharded": sharded,
         "cache_stats": {
             dataset: index.cache_stats()
             for dataset, index in sorted(_vist_indexes.items())

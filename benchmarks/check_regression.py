@@ -12,6 +12,12 @@ comparison is on the ``headline_seconds`` field — the benchmark's single
 wall-clock figure of merit — so CI tolerates runner noise (default 3×)
 while still catching order-of-magnitude regressions.
 
+Snapshots carrying throughput blocks are gated too: ``parallel`` (thread
+pool) and ``sharded`` (per-shard worker processes) expose qps figures,
+and a *drop* below ``1/--qps-factor`` of the baseline fails the gate —
+qps regresses downward, the opposite direction of seconds.  A baseline
+written before a block existed skips that block with a message.
+
 Exit status: 0 when every benchmark is within the factor (or has no
 baseline yet), 1 on a regression, 2 on usage/IO errors.
 """
@@ -58,10 +64,56 @@ def headline_of(snapshot: object) -> float | None:
     return float(value) if value > 0 else None
 
 
+def _positive(value: object) -> float | None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value) if value > 0 else None
+
+
+def qps_entries(snapshot: object) -> dict[str, float]:
+    """Every gateable throughput figure of a snapshot, flattened.
+
+    ``parallel.qps`` is the thread-pool block's ``parallel_qps``;
+    ``sharded.single_process_qps`` and ``sharded.w<N>.qps`` come from the
+    multi-process block.  Unusable values (missing, non-numeric, <= 0)
+    are simply absent, mirroring :func:`headline_of`'s tolerance.
+    """
+    out: dict[str, float] = {}
+    if not isinstance(snapshot, dict):
+        return out
+    parallel = snapshot.get("parallel")
+    if isinstance(parallel, dict):
+        value = _positive(parallel.get("parallel_qps"))
+        if value is not None:
+            out["parallel.qps"] = value
+    sharded = snapshot.get("sharded")
+    if isinstance(sharded, dict):
+        value = _positive(sharded.get("single_process_qps"))
+        if value is not None:
+            out["sharded.single_process_qps"] = value
+        entries = sharded.get("workers")
+        if isinstance(entries, list):
+            for entry in entries:
+                if not isinstance(entry, dict):
+                    continue
+                workers = entry.get("workers")
+                value = _positive(entry.get("qps"))
+                if isinstance(workers, int) and not isinstance(workers, bool) \
+                        and value is not None:
+                    out[f"sharded.w{workers}.qps"] = value
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("files", nargs="+", help="BENCH_*.json files at the repo root")
     parser.add_argument("--factor", type=float, default=3.0)
+    parser.add_argument(
+        "--qps-factor",
+        type=float,
+        default=3.0,
+        help="fail when a qps figure drops below baseline/QPS_FACTOR",
+    )
     parser.add_argument("--baseline-ref", default="HEAD")
     args = parser.parse_args(argv)
 
@@ -87,18 +139,37 @@ def main(argv: list[str] | None = None) -> int:
                 f"{name}: baseline has no usable headline_seconds; skipping "
                 "(commit a fresh snapshot to enable the gate)"
             )
-            continue
-        if now is None:
+        elif now is None:
             print(f"{name}: current snapshot has no usable headline_seconds; skipping")
-            continue
-        ratio = now / then
-        verdict = "OK" if ratio <= args.factor else "REGRESSION"
-        print(
-            f"{name}: {then:.4f}s -> {now:.4f}s ({ratio:.2f}x, limit "
-            f"{args.factor:.1f}x) {verdict}"
-        )
-        if ratio > args.factor:
-            failures += 1
+        else:
+            ratio = now / then
+            verdict = "OK" if ratio <= args.factor else "REGRESSION"
+            print(
+                f"{name}: {then:.4f}s -> {now:.4f}s ({ratio:.2f}x, limit "
+                f"{args.factor:.1f}x) {verdict}"
+            )
+            if ratio > args.factor:
+                failures += 1
+        # throughput gates run regardless of the headline outcome: a
+        # snapshot can lose its headline and still carry qps blocks
+        now_qps = qps_entries(current)
+        then_qps = qps_entries(baseline)
+        floor = 1.0 / args.qps_factor
+        for key in sorted(now_qps):
+            if key not in then_qps:
+                print(
+                    f"{name} {key}: baseline has no such figure; skipping "
+                    "(commit a fresh snapshot to enable the gate)"
+                )
+                continue
+            ratio = now_qps[key] / then_qps[key]
+            verdict = "OK" if ratio >= floor else "REGRESSION"
+            print(
+                f"{name} {key}: {then_qps[key]:.1f} -> {now_qps[key]:.1f} qps "
+                f"({ratio:.2f}x, floor {floor:.2f}x) {verdict}"
+            )
+            if ratio < floor:
+                failures += 1
     return 1 if failures else 0
 
 

@@ -34,6 +34,7 @@ __all__ = [
     "time_call",
     "time_queries",
     "parallel_throughput",
+    "sharded_throughput",
     "Report",
     "bench_json_path",
     "metrics_snapshot",
@@ -142,6 +143,85 @@ def parallel_throughput(
         "speedup": single_seconds / parallel_seconds if parallel_seconds else 0.0,
         "errors": errors,
     }
+
+
+def sharded_throughput(
+    documents: Sequence,
+    queries: Sequence,
+    workers_list: Sequence[int] = (1, 2, 4),
+    repeats: int = 1,
+    verify: bool = False,
+    tmpdir: Optional[str] = None,
+) -> dict:
+    """Multi-process scatter-gather throughput at several shard counts.
+
+    For each entry of ``workers_list`` the documents are hash-routed into
+    a fresh on-disk database with that many shards, one worker *process*
+    per shard is spawned (:class:`~repro.shard.ShardedExecutor`), and the
+    whole workload is pipelined through the scatter-gather path.  The
+    baseline is the same on-disk corpus in a single directory queried
+    sequentially in-process — so ``speedup`` is process-parallelism
+    against one process, disk format and matcher identical.
+
+    ``cpu_count`` is recorded because it bounds everything: W workers on
+    fewer than W cores time-slice instead of scaling, so judge the
+    speedup column against the cores that were actually available.
+    """
+    import shutil
+    import tempfile
+
+    from repro.shard import ShardRouter, ShardedExecutor
+
+    workload = [query for _ in range(repeats) for query in queries]
+    root = tempfile.mkdtemp(prefix="repro-shardbench-", dir=tmpdir)
+    out: dict = {
+        "cpu_count": os.cpu_count(),
+        "queries": len(workload),
+        "workers": [],
+    }
+    try:
+        base = os.path.join(root, "base")
+        with ShardRouter(base, 1) as router:
+            for doc in documents:
+                router.add(doc)
+        with ShardRouter(base) as router:
+            for query in queries:  # warm the caches like the timed loop will
+                router.query(query, verify=verify)
+            start = time.perf_counter()
+            for query in workload:
+                router.query(query, verify=verify)
+            single_seconds = time.perf_counter() - start
+        out["single_process_seconds"] = single_seconds
+        out["single_process_qps"] = (
+            len(workload) / single_seconds if single_seconds else 0.0
+        )
+        for workers in workers_list:
+            dbdir = os.path.join(root, f"w{workers}")
+            with ShardRouter(dbdir, workers) as router:
+                for doc in documents:
+                    router.add(doc)
+            with ShardedExecutor(dbdir, workers=workers, verify=verify) as executor:
+                for outcome in executor.run(list(queries)):  # warm workers
+                    pass
+                start = time.perf_counter()
+                # submit everything before collecting anything: requests
+                # pipeline across every worker at once, which is the point
+                futures = [
+                    executor.submit(query, i) for i, query in enumerate(workload)
+                ]
+                outcomes = [future.result() for future in futures]
+                seconds = time.perf_counter() - start
+            errors = sum(1 for outcome in outcomes if not outcome.ok)
+            out["workers"].append({
+                "workers": workers,
+                "seconds": seconds,
+                "qps": len(workload) / seconds if seconds else 0.0,
+                "speedup": single_seconds / seconds if seconds else 0.0,
+                "errors": errors,
+            })
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return out
 
 
 @dataclass

@@ -31,6 +31,7 @@ from repro.errors import (
     QueryBudgetExceededError,
     QueryTimeoutError,
     ReproError,
+    ShardQueryError,
     TransientIOError,
 )
 from repro.index.guard import QueryGuard
@@ -74,7 +75,24 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.handler(args)
+        try:
+            return args.handler(args)
+        except ShardQueryError as exc:
+            # surface the most specific per-shard failure as the exit
+            # code, the same way a single-directory run would
+            for cause in exc.shard_errors.values():
+                if isinstance(
+                    cause,
+                    (
+                        QueryTimeoutError,
+                        QueryBudgetExceededError,
+                        CorruptionError,
+                        TransientIOError,
+                    ),
+                ):
+                    print(f"error: {exc}", file=sys.stderr)
+                    raise cause from exc
+            raise
     except QueryTimeoutError as exc:
         print(f"timeout: {exc}", file=sys.stderr)
         return EXIT_TIMEOUT
@@ -113,6 +131,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p_index.add_argument(
         "--split",
         help="comma-separated record labels; split documents before indexing",
+    )
+    p_index.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="create (or extend) a sharded database: documents are hash-"
+        "routed across N full index directories DBDIR/shard-K",
     )
     p_index.set_defaults(handler=_cmd_index)
 
@@ -171,7 +196,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--repeat",
         type=int,
         default=100,
-        help="number of submissions in --parallel batch mode (default 100)",
+        help="number of submissions in --parallel/--workers batch mode "
+        "(default 100)",
+    )
+    p_query.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="batch mode over a *sharded* DBDIR: run the query --repeat "
+        "times scatter-gather across the N per-shard worker processes "
+        "and report the throughput (N must match the shard count)",
     )
     p_query.set_defaults(handler=_cmd_query)
 
@@ -192,6 +226,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--max-steps", type=int, help="per-query matcher-step budget"
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="sharded DBDIR only: serve scatter-gather over N per-shard "
+        "worker processes instead of threads over one shared index",
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        metavar="P",
+        help="speak the length-prefixed frame protocol over TCP on this "
+        "port (0 picks one; announced as 'PORT <n>' on stdout) instead "
+        "of the stdin line loop",
+    )
+    p_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="TCP bind address for --port (default 127.0.0.1)",
     )
     p_serve.set_defaults(handler=_cmd_serve)
 
@@ -236,6 +290,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_salvage.add_argument("dbdir", type=Path)
     p_salvage.set_defaults(handler=_cmd_salvage)
+
+    p_reshard = sub.add_parser(
+        "reshard",
+        help="rebalance a sharded database to a new shard count "
+        "(global doc ids and query answers are preserved)",
+    )
+    p_reshard.add_argument("dbdir", type=Path)
+    p_reshard.add_argument("nshards", type=int)
+    p_reshard.set_defaults(handler=_cmd_reshard)
     return parser
 
 
@@ -271,12 +334,16 @@ def _close_index(index: VistIndex) -> None:
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
-    index = open_index(args.dbdir, args.schema)
+    from repro.shard import is_sharded
+
     split_labels = (
         [label.strip() for label in args.split.split(",") if label.strip()]
         if args.split
         else None
     )
+    if args.shards is not None or is_sharded(args.dbdir):
+        return _index_sharded(args, split_labels)
+    index = open_index(args.dbdir, args.schema)
     indexed = 0
     try:
         for path in args.files:
@@ -294,7 +361,39 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _index_sharded(args: argparse.Namespace, split_labels) -> int:
+    """``index --shards N``: hash-route records across N shard directories."""
+    from repro.shard import ShardRouter
+
+    indexed = 0
+    with ShardRouter(args.dbdir, args.shards, schema_path=args.schema) as router:
+        for path in args.files:
+            document = parse_document(path.read_text(), name=str(path))
+            if split_labels:
+                for record in split_records(document.root, split_labels):
+                    router.add(record)
+                    indexed += 1
+            else:
+                router.add(document)
+                indexed += 1
+        counts = router.map.shard_counts()
+    print(
+        f"indexed {indexed} record(s) into {args.dbdir} "
+        f"({router.nshards} shard(s), routed {counts})"
+    )
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.shard import is_sharded
+
+    if is_sharded(args.dbdir):
+        return _query_sharded(args)
+    if args.workers is not None:
+        raise ReproError(
+            f"{args.dbdir} is not sharded; --workers needs a database built "
+            "with `repro index --shards N` (use --parallel for threads)"
+        )
     guard = None
     if args.deadline_ms is not None or args.max_steps is not None or args.max_page_reads is not None:
         guard = QueryGuard(
@@ -409,19 +508,126 @@ def _run_parallel_query(args: argparse.Namespace, engine, idmap) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    """Line-oriented query loop over one shared open index.
+def _guard_spec(args: argparse.Namespace) -> Optional[dict]:
+    """The wire form of the guard budgets for per-shard workers, or None."""
+    spec = {
+        "deadline_ms": args.deadline_ms,
+        "max_steps": args.max_steps,
+        "max_page_reads": getattr(args, "max_page_reads", None),
+    }
+    return spec if any(v is not None for v in spec.values()) else None
 
-    Output lines are emitted in submission order (``position`` is the
-    0-based input line among non-blank lines) even though the worker
-    pool completes them out of order.
+
+def _query_sharded(args: argparse.Namespace) -> int:
+    """``query`` against a sharded DBDIR.
+
+    The single-shot path answers in-process through the embedded
+    :class:`ShardRouter` (no worker processes to spawn for one query);
+    ``--workers N`` is the batch mode, scatter-gathering over N per-shard
+    worker processes like ``--parallel`` does over threads.
     """
-    from collections import deque
+    for flag, name in (
+        (args.explain, "--explain"),
+        (args.profile, "--profile"),
+        (args.engine != "vist", "--engine"),
+    ):
+        if flag:
+            raise ReproError(f"{name} is not supported on sharded databases")
+    if args.parallel:
+        raise ReproError(
+            "--parallel threads share one open index; on a sharded "
+            "database use --workers N (N = shard count)"
+        )
+    if args.workers is not None:
+        return _run_sharded_query(args)
+    from repro.shard import ShardRouter
 
+    with ShardRouter(args.dbdir) as router:
+        result = router.query(
+            args.xpath, verify=args.verify, guard_factory=_guard_factory(args)
+        )
+        mode = "verified" if args.verify else "raw"
+        print(f"{len(result)} match(es) ({mode}, {router.nshards} shards): "
+              f"{set(result)}")
+        if args.show:
+            for doc_id in result:
+                sequence = router.load_sequence(doc_id)
+                print(f"  doc {doc_id}: {sequence.preorder_string()}")
+        if args.show_xml:
+            for doc_id in result:
+                print(f"-- doc {doc_id} --")
+                print(router.get_document(doc_id).to_xml())
+    return 0
+
+
+def _run_sharded_query(args: argparse.Namespace) -> int:
+    """``query --workers N``: the same query --repeat times over N processes."""
+    import time
+
+    from repro.shard import ShardedExecutor
+
+    repeat = max(1, args.repeat)
+    with ShardedExecutor(
+        args.dbdir,
+        workers=args.workers,
+        verify=args.verify,
+        guard_spec=_guard_spec(args),
+    ) as executor:
+        t0 = time.perf_counter()
+        outcomes = executor.run([args.xpath] * repeat)
+        elapsed = time.perf_counter() - t0
+    for outcome in outcomes:
+        outcome.unwrap()  # propagate shard/guard errors to main()
+    distinct = {frozenset(outcome.result) for outcome in outcomes}
+    if len(distinct) != 1:
+        print(
+            f"error: {len(distinct)} distinct result sets across "
+            f"{repeat} identical scatter-gather runs",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    result = set(outcomes[0].result)
+    mode = "verified" if args.verify else "raw"
+    print(f"{len(result)} match(es) ({mode}): {result}")
+    qps = repeat / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"sharded: {repeat} queries x {args.workers} worker process(es) "
+        f"in {elapsed:.3f}s ({qps:.0f} qps)"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Query-serving loop: stdin lines by default, TCP frames with --port.
+
+    Two backends, one loop: threads over a shared open index (the
+    default), or — on a sharded database — scatter-gather over one
+    worker process per shard (``--workers``).  Either way outcomes are
+    emitted in submission order, and EOF or Ctrl-C mid-stream drains
+    whatever is already in flight before exiting cleanly (code 0).
+    """
+    from repro.shard import is_sharded
+
+    sharded = is_sharded(args.dbdir)
+    if args.workers is not None and not sharded:
+        raise ReproError(
+            f"{args.dbdir} is not sharded; --workers needs a database "
+            "built with `repro index --shards N`"
+        )
+    if sharded:
+        from repro.shard import ShardedExecutor
+
+        with ShardedExecutor(
+            args.dbdir,
+            workers=args.workers,
+            verify=args.verify,
+            guard_spec=_guard_spec(args),
+            threads_per_worker=max(1, args.threads // 2),
+        ) as executor:
+            return _serve_loop(args, executor)
     from repro.exec import QueryExecutor
 
     index = open_index(args.dbdir)
-    served = 0
     try:
         with QueryExecutor(
             index,
@@ -429,21 +635,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             verify=args.verify,
             guard_factory=_guard_factory(args),
         ) as executor:
-            pending: deque = deque()
-            for line in sys.stdin:
-                xpath = line.strip()
-                if not xpath or xpath.startswith("#"):
-                    continue
-                pending.append((xpath, executor.submit(xpath, position=served)))
-                served += 1
-                # drain whatever has already finished, in order, so the
-                # loop stays responsive without blocking on the newest
-                while pending and pending[0][1].done():
-                    _print_served(*pending.popleft())
-            while pending:
-                _print_served(*pending.popleft())
+            return _serve_loop(args, executor)
     finally:
         _close_index(index)
+
+
+def _serve_loop(args: argparse.Namespace, executor) -> int:
+    if args.port is not None:
+        return _serve_tcp(executor, args.host, args.port)
+    return _serve_stdin(executor)
+
+
+def _serve_stdin(executor) -> int:
+    """Line-oriented loop: one XPath per stdin line, answers in order."""
+    from collections import deque
+
+    served = 0
+    pending: deque = deque()
+    try:
+        for line in sys.stdin:
+            xpath = line.strip()
+            if not xpath or xpath.startswith("#"):
+                continue
+            pending.append((xpath, executor.submit(xpath, position=served)))
+            served += 1
+            # drain whatever has already finished, in order, so the
+            # loop stays responsive without blocking on the newest
+            while pending and pending[0][1].done():
+                _print_served(*pending.popleft())
+        while pending:
+            _print_served(*pending.popleft())
+    except KeyboardInterrupt:
+        # a clean shutdown, not an error: flush what is already in
+        # flight (still in submission order) and report success
+        while pending:
+            _print_served(*pending.popleft())
     print(f"served {served} query/queries", file=sys.stderr)
     return 0
 
@@ -459,6 +685,121 @@ def _print_served(xpath: str, future) -> None:
     else:
         print(f"{outcome.position}\t{xpath}\terror: {outcome.error}")
     sys.stdout.flush()
+
+
+def _serve_tcp(executor, host: str, port: int) -> int:
+    """Frame-protocol server: 4-byte length prefix + JSON, like the shard
+    workers speak (:mod:`repro.shard.protocol`).
+
+    A request frame is either a bare JSON string (the XPath) or an
+    object ``{"xpath": ..., "verify": bool}``.  Replies carry
+    ``{"position", "ok", "result" | "error"/"error_type"}`` and are sent
+    in submission order per connection, pipelining-friendly: the client
+    may stream many requests before reading any reply.
+    """
+    import queue
+    import socket
+    import threading
+
+    from repro.shard.protocol import FrameError, recv_frame, send_frame
+
+    served = [0]
+    served_lock = threading.Lock()
+
+    def handle(conn: socket.socket) -> None:
+        replies: "queue.Queue" = queue.Queue()
+
+        def drain() -> None:
+            # a dedicated sender keeps replies ordered without making the
+            # reader block on the oldest in-flight query
+            while True:
+                item = replies.get()
+                if item is None:
+                    break
+                position, xpath, future = item
+                outcome = future.result()
+                payload = {"position": position, "xpath": xpath, "ok": outcome.ok}
+                if outcome.ok:
+                    payload["result"] = sorted(outcome.result)
+                else:
+                    payload["error"] = str(outcome.error)
+                    payload["error_type"] = type(outcome.error).__name__
+                try:
+                    send_frame(conn, payload)
+                except OSError:
+                    break  # client hung up; keep draining futures silently
+
+        drainer = threading.Thread(target=drain, daemon=True)
+        drainer.start()
+        position = 0
+        try:
+            while True:
+                try:
+                    request = recv_frame(conn)
+                except (FrameError, OSError):
+                    break
+                if request is None:
+                    break
+                if isinstance(request, str):
+                    xpath, verify = request, None
+                elif isinstance(request, dict) and "xpath" in request:
+                    xpath = str(request["xpath"])
+                    verify = request.get("verify")
+                else:
+                    try:
+                        send_frame(conn, {
+                            "position": position, "ok": False,
+                            "error": f"malformed request: {request!r}",
+                            "error_type": "FrameError",
+                        })
+                    except OSError:
+                        break
+                    continue
+                if verify is None:
+                    future = executor.submit(xpath, position=position)
+                elif hasattr(executor, "submit_with"):  # thread backend
+                    future = executor.submit_with(
+                        xpath, position=position, verify=bool(verify)
+                    )
+                else:  # sharded backend takes verify directly
+                    future = executor.submit(
+                        xpath, position=position, verify=bool(verify)
+                    )
+                replies.put((position, xpath, future))
+                position += 1
+        finally:
+            replies.put(None)
+            drainer.join()
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with served_lock:
+                served[0] += position
+
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen()
+        print(f"PORT {listener.getsockname()[1]}", flush=True)
+        while True:
+            try:
+                conn, _addr = listener.accept()
+            except OSError:
+                break
+            threading.Thread(target=handle, args=(conn,), daemon=True).start()
+    except KeyboardInterrupt:
+        pass  # clean shutdown; in-flight replies ride out their drainers
+    finally:
+        try:
+            listener.close()
+        except OSError:
+            pass
+    with served_lock:
+        count = served[0]
+    print(f"served {count} query/queries", file=sys.stderr)
+    return 0
 
 
 def _resolve_engine(index: VistIndex, kind: str):
@@ -512,6 +853,20 @@ def _print_cache_stats(index: VistIndex) -> None:
 
 
 def _cmd_nodes(args: argparse.Namespace) -> int:
+    from repro.shard import ShardRouter, is_sharded
+
+    if is_sharded(args.dbdir):
+        with ShardRouter(args.dbdir) as router:
+            result = router.query_nodes(args.xpath)
+            total = sum(len(v) for v in result.values())
+            print(f"{total} node(s) in {len(result)} document(s)")
+            for doc_id, positions in sorted(result.items()):
+                sequence = router.load_sequence(doc_id)
+                rendered = ", ".join(
+                    f"{p}:{sequence[p].symbol}" for p in positions
+                )
+                print(f"  doc {doc_id}: {rendered}")
+        return 0
     index = open_index(args.dbdir)
     try:
         result = index.query_nodes(args.xpath)
@@ -529,6 +884,18 @@ def _cmd_nodes(args: argparse.Namespace) -> int:
 
 
 def _cmd_remove(args: argparse.Namespace) -> int:
+    from repro.shard import ShardRouter, is_sharded
+
+    if is_sharded(args.dbdir):
+        removed = 0
+        try:
+            with ShardRouter(args.dbdir) as router:
+                for doc_id in args.doc_ids:
+                    router.remove(doc_id)
+                    removed += 1
+        finally:
+            print(f"removed {removed} document(s)")
+        return 0
     index = open_index(args.dbdir)
     removed = 0
     try:
@@ -546,10 +913,28 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
     Exit code 0 when all invariants hold, 2 when any is violated —
     ``repro check DBDIR`` is safe to wire into cron/CI against a
-    production index directory (the index is only read).
+    production index directory (the index is only read).  On a sharded
+    database every shard is checked; one bad shard fails the run.
     """
+    from repro.shard import ShardRouter, is_sharded
     from repro.testing.invariants import check_index
 
+    if is_sharded(args.dbdir):
+        failed_shards = 0
+        with ShardRouter(args.dbdir) as router:
+            for k, shard in enumerate(router.shards):
+                reports = check_index(shard)
+                for report in reports:
+                    print(f"shard {k}: {report.summary()}")
+                bad = [report for report in reports if not report.ok]
+                if bad:
+                    failed_shards += 1
+                    print(f"shard {k}: {len(bad)} checker(s) found violations")
+        if failed_shards:
+            print(f"{failed_shards} shard(s) have violations")
+            return EXIT_VIOLATIONS
+        print(f"all invariants hold across {router.nshards} shard(s)")
+        return 0
     index = open_index(args.dbdir)
     try:
         reports = check_index(index)
@@ -565,7 +950,28 @@ def _cmd_check(args: argparse.Namespace) -> int:
         _close_index(index)
 
 
+def _cmd_reshard(args: argparse.Namespace) -> int:
+    from repro.shard import is_sharded, reshard_db
+
+    if not is_sharded(args.dbdir):
+        raise ReproError(
+            f"{args.dbdir} is not sharded; build one with "
+            "`repro index --shards N` first"
+        )
+    report = reshard_db(args.dbdir, args.nshards)
+    print(
+        f"resharded {args.dbdir}: {report['old_nshards']} -> "
+        f"{report['new_nshards']} shard(s), {report['documents']} "
+        f"document(s) moved, {report['tombstones']} tombstone(s) preserved"
+    )
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.shard import is_sharded
+
+    if is_sharded(args.dbdir):
+        return _stats_sharded(args)
     index = open_index(args.dbdir)
     try:
         if args.json:
@@ -588,6 +994,35 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         _print_health(args.dbdir, index)
     finally:
         _close_index(index)
+    return 0
+
+
+def _stats_sharded(args: argparse.Namespace) -> int:
+    """``stats`` on a sharded DBDIR: per-shard registries under shard.K.*."""
+    from repro.shard import ShardRouter
+
+    with ShardRouter(args.dbdir) as router:
+        if args.json:
+            import json
+
+            snapshot = router.metrics.snapshot()
+            snapshot["documents"] = len(router)
+            print(json.dumps(snapshot, indent=2, sort_keys=True, default=str))
+            return 0
+        routing = router.metrics.snapshot()["routing"]
+        print(f"documents: {len(router)} across {router.nshards} shard(s)")
+        print(
+            f"routing: next_doc_id {routing['next_doc_id']}, "
+            f"routed {routing['routed']}, live {routing['live']}"
+        )
+        for k, shard in enumerate(router.shards):
+            for name, stats in shard.index_stats().items():
+                print(
+                    f"shard {k} {name}: {stats.entries} entries, "
+                    f"{stats.total_pages} pages "
+                    f"({stats.total_bytes / 1024:.0f} KiB), "
+                    f"height {stats.height}"
+                )
     return 0
 
 

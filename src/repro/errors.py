@@ -170,5 +170,28 @@ class IndexStateError(ReproError):
     """An index operation was attempted in an invalid state."""
 
 
+class ShardError(ReproError):
+    """Base class for sharded-serving failures (routing, wire, workers)."""
+
+
+class ShardQueryError(ShardError):
+    """One or more shards failed to answer a scatter-gather query.
+
+    Captured per :class:`~repro.exec.executor.QueryOutcome` — a failing
+    shard poisons *that outcome*, never the executor — with the per-shard
+    causes in :attr:`shard_errors` (shard index → exception).
+    """
+
+    def __init__(self, shard_errors: dict) -> None:
+        detail = "; ".join(
+            f"shard {k}: {type(exc).__name__}: {exc}"
+            for k, exc in sorted(shard_errors.items())
+        )
+        super().__init__(
+            f"{len(shard_errors)} shard(s) failed to answer: {detail}"
+        )
+        self.shard_errors = dict(shard_errors)
+
+
 class DatasetError(ReproError):
     """Raised by dataset generators for invalid parameters."""

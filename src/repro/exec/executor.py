@@ -86,9 +86,31 @@ class QueryExecutor:
 
     def submit(self, query, position: int = 0) -> "Future[QueryOutcome]":
         """Schedule one query; the future resolves to a :class:`QueryOutcome`."""
+        return self.submit_with(query, position=position)
+
+    def submit_with(
+        self,
+        query,
+        position: int = 0,
+        *,
+        verify: Optional[bool] = None,
+        guard_factory: Optional[Callable[[], QueryGuard]] = None,
+    ) -> "Future[QueryOutcome]":
+        """Like :meth:`submit` with per-submission overrides.
+
+        ``verify``/``guard_factory`` default to the executor-wide settings
+        when ``None`` — the shard worker uses this to honour per-frame
+        exact-mode and guard budgets over one shared pool.
+        """
         if self._closed:
             raise RuntimeError("executor is closed")
-        return self._pool.submit(self._run_one, query, position)
+        return self._pool.submit(
+            self._run_one,
+            query,
+            position,
+            self.verify if verify is None else verify,
+            self.guard_factory if guard_factory is None else guard_factory,
+        )
 
     def run(self, queries: Sequence) -> list[QueryOutcome]:
         """Run a batch; outcomes come back in submission order."""
@@ -99,14 +121,12 @@ class QueryExecutor:
         """Like :meth:`run` but unwraps: raises the first captured error."""
         return [outcome.unwrap() for outcome in self.run(queries)]
 
-    def _run_one(self, query, position: int) -> QueryOutcome:
-        guard = self.guard_factory() if self.guard_factory is not None else None
+    def _run_one(self, query, position: int, verify: bool, guard_factory) -> QueryOutcome:
+        guard = guard_factory() if guard_factory is not None else None
         outcome = QueryOutcome(position=position, query=query, guard=guard)
         t0 = time.perf_counter()
         try:
-            outcome.result = self.index.query(
-                query, verify=self.verify, guard=guard
-            )
+            outcome.result = self.index.query(query, verify=verify, guard=guard)
         except BaseException as exc:  # captured per-outcome, see QueryOutcome
             outcome.error = exc
         outcome.elapsed_ms = (time.perf_counter() - t0) * 1000.0
@@ -114,13 +134,18 @@ class QueryExecutor:
 
     # -- lifecycle -------------------------------------------------------
 
-    def close(self, wait: bool = True) -> None:
+    def close(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Join the workers.  ``cancel_pending`` drops queued (not yet
+        started) submissions first — the error-path teardown, where
+        waiting out a deep queue would hang the shutdown the caller is
+        trying to make."""
         if not self._closed:
             self._closed = True
-            self._pool.shutdown(wait=wait)
+            self._pool.shutdown(wait=wait, cancel_futures=cancel_pending)
 
     def __enter__(self) -> "QueryExecutor":
         return self
 
-    def __exit__(self, *_exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, *_exc) -> None:
+        # on the error path, don't wait for a backlog nobody will read
+        self.close(cancel_pending=exc_type is not None)

@@ -116,7 +116,13 @@ class QueryNode:
         main = self.main_child()
         for child in self.children:
             if child is not main:
-                out += f"[{child._xpath_inner()}]"
+                if child.is_dslash:
+                    # a descendant branch renders as [//d]: its own inner
+                    # form starts "/d" (empty step + separator), so one
+                    # more slash restores the // the parser expects
+                    out += f"[/{child._xpath_inner()}]"
+                else:
+                    out += f"[{child._xpath_inner()}]"
         if main is None:
             return out
         return out + "/" + main._xpath_inner()

@@ -7,7 +7,7 @@ Grammar (close to Table 3's queries)::
     nametest   := NAME | '@' NAME | '*'
     predicate  := '[' predexpr ']'
     predexpr   := 'text()' '=' literal
-                | relpath ('=' literal)?
+                | '//'? relpath ('=' literal)?
     relpath    := step ( ('/' | '//') step )*
     literal    := "'" chars "'" | '"' chars '"'
 
@@ -86,6 +86,9 @@ class _XPathParser:
                 first, cursor = self._attach(first, cursor, QueryNode(DSLASH_LABEL))
             else:
                 self._expect("/")
+        elif self._accept("//"):
+            # descendant branch inside a predicate: [//d[...]]
+            first, cursor = self._attach(first, cursor, QueryNode(DSLASH_LABEL))
         while True:
             step = self._parse_step()
             first, cursor = self._attach(first, cursor, step)

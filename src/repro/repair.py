@@ -137,6 +137,16 @@ class SalvageReport:
 # scrub
 
 
+def _sharded_layout(dbdir: Path) -> Optional[list[Path]]:
+    """The shard directories of a sharded database, or None for plain ones."""
+    from repro.shard.routing import is_sharded, read_manifest, shard_dir
+
+    if not is_sharded(dbdir):
+        return None
+    manifest = read_manifest(dbdir)
+    return [shard_dir(dbdir, k) for k in range(manifest["nshards"])]
+
+
 def scrub_page_file(path: str | os.PathLike) -> FileScrubReport:
     """Verify the CRC trailer of every page slot in a page file.
 
@@ -314,6 +324,22 @@ def scrub_db(dbdir: str | os.PathLike, *, invariants: bool = True) -> ScrubRepor
     pages would drown the real signal (and the open itself may fail).
     """
     dbdir = Path(os.fspath(dbdir))
+    sharded = _sharded_layout(dbdir)
+    if sharded is not None:
+        # sharded database: every shard is a complete directory; scrub
+        # each and aggregate so one report covers all the damage
+        report = ScrubReport(dbdir=str(dbdir))
+        report.notes.append(f"sharded database: {len(sharded)} shard(s) scrubbed")
+        for k, shard_path in enumerate(sharded):
+            sub = scrub_db(shard_path, invariants=invariants)
+            report.files.extend(sub.files)
+            if sub.invariants_checked:
+                report.invariants_checked = True
+            report.invariant_violations.extend(
+                f"shard {k}: {v}" for v in sub.invariant_violations
+            )
+            report.notes.extend(f"shard {k}: {n}" for n in sub.notes)
+        return report
     report = ScrubReport(dbdir=str(dbdir))
     tree_path = dbdir / TREE_FILE
     if tree_path.exists():
@@ -405,6 +431,19 @@ def salvage_db(dbdir: str | os.PathLike) -> SalvageReport:
     from repro.testing.invariants import assert_invariants
 
     dbdir = Path(os.fspath(dbdir))
+    sharded = _sharded_layout(dbdir)
+    if sharded is not None:
+        report = SalvageReport(dbdir=str(dbdir))
+        report.notes.append(f"sharded database: {len(sharded)} shard(s) salvaged")
+        replaced_all = True
+        for k, shard_path in enumerate(sharded):
+            sub = salvage_db(shard_path)
+            report.documents += sub.documents
+            report.tombstones += sub.tombstones
+            replaced_all = replaced_all and sub.replaced
+            report.notes.extend(f"shard {k}: {n}" for n in sub.notes)
+        report.replaced = replaced_all
+        return report
     report = SalvageReport(dbdir=str(dbdir))
     doc_path = dbdir / DOC_FILE
     if not doc_path.exists():

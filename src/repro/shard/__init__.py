@@ -1,0 +1,46 @@
+"""Sharded multi-process serving (docs/INTERNALS.md section 12).
+
+ViST's DocId-labeled postings make hash-sharding by document trivially
+correct: every query answer is a per-document decision, so the union of
+per-shard result sets *is* the exact global answer.  This package
+partitions documents across N full index directories
+(``DBDIR/shard-K/``), each with its own pager/WAL/docstore, and executes
+queries scatter-gather over per-shard worker **processes** — the route
+around the GIL wall PR 5 measured (4 threads at 0.99x single-thread
+qps).
+
+Layers:
+
+* :mod:`repro.shard.routing` — the stable DocId hash, the manifest, and
+  the derivable global↔local id map (:class:`ShardMap`);
+* :mod:`repro.shard.router` — :class:`ShardRouter`, the embedded
+  (in-process) view of a sharded directory: add/remove routing,
+  sequential scatter queries, and ``reshard``;
+* :mod:`repro.shard.protocol` — length-prefixed JSON frames;
+* :mod:`repro.shard.worker` — the per-shard worker process
+  (``python -m repro.shard.worker``) wrapping the existing
+  :class:`~repro.exec.executor.QueryExecutor` + RWLock machinery;
+* :mod:`repro.shard.executor` — :class:`ShardedExecutor`, the
+  scatter-gather client that fans queries out over sockets and merges
+  ordered :class:`~repro.exec.executor.QueryOutcome` results.
+"""
+
+from repro.shard.routing import MANIFEST_FILE, ShardMap, is_sharded, shard_of
+from repro.shard.router import ShardRouter, reshard_db
+
+__all__ = [
+    "MANIFEST_FILE",
+    "ShardMap",
+    "ShardRouter",
+    "is_sharded",
+    "reshard_db",
+    "shard_of",
+]
+
+
+def __getattr__(name):  # lazy: executor pulls in subprocess/socket plumbing
+    if name == "ShardedExecutor":
+        from repro.shard.executor import ShardedExecutor
+
+        return ShardedExecutor
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

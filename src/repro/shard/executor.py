@@ -1,0 +1,409 @@
+"""ShardedExecutor: scatter-gather queries over per-shard worker processes.
+
+The process-parallel counterpart of :class:`~repro.exec.QueryExecutor`:
+one worker **process** per shard (spawned as ``python -m
+repro.shard.worker``, each holding its shard's index open with its own
+pager/WAL and answering over a loopback socket), a demultiplexing reader
+thread per connection, and request pipelining — any number of client
+threads can have queries in flight against every shard at once, which is
+what actually breaks the GIL wall: the matching work runs in N
+interpreters.
+
+Every submitted query is fanned out to *all* shards and the per-shard
+answers (local doc ids) are mapped through the
+:class:`~repro.shard.routing.ShardMap` back to global ids and merged —
+an exact union, because membership is a per-document decision.  Failures
+are captured per outcome: a shard that times out, hits corruption, or
+dies poisons that :class:`~repro.exec.executor.QueryOutcome` with a
+:class:`~repro.errors.ShardQueryError` naming the shard(s); the executor
+and the surviving shards keep serving.
+
+Writes route: :meth:`add` assigns the next global id, computes its shard
+by the stable hash, and ships the document to exactly that worker (the
+worker asserts the expected local id, so router/worker layout drift is
+loud).  The manifest is re-written on :meth:`close`; a crash in between
+is absorbed by :meth:`ShardMap.recover` on the next open.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import socket
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.errors import ShardError, ShardQueryError
+from repro.exec.executor import QueryOutcome
+from repro.shard.protocol import recv_frame, rehydrate_error, send_frame
+from repro.shard.routing import ShardMap, read_manifest, shard_dir, write_manifest
+
+__all__ = ["ShardedExecutor"]
+
+_SPAWN_TIMEOUT = 30.0
+_SHUTDOWN_TIMEOUT = 10.0
+
+
+class _ShardClient:
+    """One worker process + its connection: spawn, pipeline, demux."""
+
+    def __init__(self, shard: int, path: Path, threads: int) -> None:
+        self.shard = shard
+        self.path = path
+        self.threads = threads
+        self.proc: Optional[subprocess.Popen] = None
+        self.sock: Optional[socket.socket] = None
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, Future] = {}
+        self._next_id = 0
+        self._reader: Optional[threading.Thread] = None
+        self._closed = False
+
+    def start(self) -> None:
+        import repro
+
+        env = os.environ.copy()
+        package_root = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = package_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.shard.worker", str(self.path),
+                "--port", "0", "--threads", str(self.threads),
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        port = self._await_port()
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=_SPAWN_TIMEOUT)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.sock.settimeout(None)
+        self._reader = threading.Thread(target=self._read_loop, daemon=True)
+        self._reader.start()
+
+    def _await_port(self) -> int:
+        """Read the worker's ``PORT <n>`` announcement, bounded in time."""
+        assert self.proc is not None and self.proc.stdout is not None
+        deadline = time.monotonic() + _SPAWN_TIMEOUT
+        stream = self.proc.stdout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ShardError(
+                    f"shard {self.shard} worker did not announce a port "
+                    f"within {_SPAWN_TIMEOUT:g}s"
+                )
+            if self.proc.poll() is not None:
+                raise ShardError(
+                    f"shard {self.shard} worker exited with code "
+                    f"{self.proc.returncode} before announcing a port"
+                )
+            ready, _, _ = select.select([stream], [], [], min(remaining, 0.25))
+            if not ready:
+                continue
+            line = stream.readline()
+            if not line:
+                continue
+            if line.startswith("PORT "):
+                return int(line.split()[1])
+
+    # -- pipelined request/response --------------------------------------
+
+    def call(self, payload: dict) -> Future:
+        """Send one frame; the future resolves to the response object."""
+        future: Future = Future()
+        with self._pending_lock:
+            if self._closed:
+                raise ShardError(f"shard {self.shard} connection is closed")
+            request_id = self._next_id
+            self._next_id += 1
+            self._pending[request_id] = future
+        try:
+            with self._send_lock:
+                send_frame(self.sock, {"id": request_id, **payload})
+        except (OSError, ShardError) as exc:
+            with self._pending_lock:
+                self._pending.pop(request_id, None)
+            future.set_exception(
+                ShardError(f"shard {self.shard} send failed: {exc}")
+            )
+        return future
+
+    def _read_loop(self) -> None:
+        error: Optional[BaseException] = None
+        try:
+            while True:
+                response = recv_frame(self.sock)
+                if response is None:
+                    break
+                with self._pending_lock:
+                    future = self._pending.pop(response.get("id", -1), None)
+                if future is not None:
+                    future.set_result(response)
+        except (OSError, ShardError) as exc:
+            error = exc
+        # connection is gone: every in-flight request fails, loudly
+        with self._pending_lock:
+            pending, self._pending = self._pending, {}
+        for future in pending.values():
+            future.set_exception(
+                ShardError(
+                    f"shard {self.shard} worker connection lost"
+                    + (f": {error}" if error is not None else "")
+                )
+            )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        with self._pending_lock:
+            self._closed = True
+        # polite shutdown frame first; the stdin EOF and process kill below
+        # are the backstops for a wedged worker
+        try:
+            if self.sock is not None:
+                with self._send_lock:
+                    send_frame(self.sock, {"id": -1, "op": "shutdown"})
+        except (OSError, ShardError):
+            pass
+        if self.proc is not None and self.proc.stdin is not None:
+            try:
+                self.proc.stdin.close()
+            except OSError:
+                pass
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+        if self.proc is not None:
+            try:
+                self.proc.wait(timeout=_SHUTDOWN_TIMEOUT)
+            except subprocess.TimeoutExpired:
+                self.proc.terminate()
+                try:
+                    self.proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    self.proc.kill()
+                    self.proc.wait()
+            if self.proc.stdout is not None:
+                self.proc.stdout.close()
+
+
+class ShardedExecutor:
+    """Scatter-gather query execution over a sharded database directory.
+
+    ``workers`` must equal the manifest's shard count when given (one
+    process per shard; change the count with ``repro reshard``).
+    ``guard_spec`` is a dict of per-query guard budgets (``deadline_ms``,
+    ``max_steps``, ``max_page_reads``) applied worker-side with a fresh
+    guard per query.  The executor is a context manager; :meth:`close`
+    shuts every worker down and persists the manifest.
+    """
+
+    def __init__(
+        self,
+        dbdir,
+        *,
+        workers: Optional[int] = None,
+        verify: bool = False,
+        guard_spec: Optional[dict] = None,
+        threads_per_worker: int = 2,
+    ) -> None:
+        self.dbdir = Path(dbdir)
+        manifest = read_manifest(self.dbdir)
+        nshards = manifest["nshards"]
+        if workers is not None and workers != nshards:
+            raise ShardError(
+                f"{self.dbdir} is sharded {nshards} ways; --workers "
+                f"{workers} does not match (run `repro reshard` first)"
+            )
+        self.nshards = nshards
+        self.verify = verify
+        self.guard_spec = dict(guard_spec) if guard_spec else None
+        self.map = ShardMap(nshards, manifest["next_doc_id"])
+        self._write_lock = threading.Lock()  # serialises add/remove routing
+        self._manifest_dirty = False
+        self._closed = False
+        self.clients: list[_ShardClient] = []
+        try:
+            for k in range(nshards):
+                client = _ShardClient(k, shard_dir(self.dbdir, k), threads_per_worker)
+                client.start()
+                self.clients.append(client)
+            # recover a manifest the last writer didn't get to persist
+            bounds = []
+            for client in self.clients:
+                response = client.call({"op": "stats"}).result(_SPAWN_TIMEOUT)
+                bound = response.get("id_bound") if response.get("ok") else None
+                if not isinstance(bound, int):
+                    raise ShardError(
+                        f"shard {client.shard} stats carry no id_bound; "
+                        "cannot reconcile the manifest"
+                    )
+                bounds.append(bound)
+            if self.map.recover(bounds):
+                self._manifest_dirty = True
+        except BaseException:
+            self.close()
+            raise
+
+    # -- querying --------------------------------------------------------
+
+    def submit(
+        self, query: str, position: int = 0, *, verify: Optional[bool] = None
+    ) -> "Future[QueryOutcome]":
+        """Fan one query out to every shard; resolves to a merged outcome."""
+        if self._closed:
+            raise ShardError("executor is closed")
+        payload = {
+            "op": "query",
+            "xpath": query,
+            "verify": self.verify if verify is None else verify,
+        }
+        if self.guard_spec:
+            payload["guard"] = self.guard_spec
+        outcome_future: Future = Future()
+        state_lock = threading.Lock()
+        results: dict[int, list[int]] = {}
+        errors: dict[int, BaseException] = {}
+        elapsed: dict[int, float] = {}
+        remaining = [len(self.clients)]
+        t0 = time.perf_counter()
+
+        def finish() -> None:
+            outcome = QueryOutcome(position=position, query=query)
+            outcome.elapsed_ms = (time.perf_counter() - t0) * 1000.0
+            if errors:
+                outcome.error = ShardQueryError(errors)
+            else:
+                merged: list[int] = []
+                for s, locals_ in results.items():
+                    globals_of = self.map.globals_of(s)
+                    merged.extend(globals_of[local] for local in locals_)
+                outcome.result = sorted(merged)
+            outcome_future.set_result(outcome)
+
+        def on_shard(s: int):
+            def callback(fut: Future) -> None:
+                try:
+                    response = fut.result()
+                except BaseException as exc:  # connection-level failure
+                    with state_lock:
+                        errors[s] = exc
+                else:
+                    with state_lock:
+                        if response.get("ok"):
+                            results[s] = response.get("result", [])
+                            elapsed[s] = response.get("elapsed_ms", 0.0)
+                        else:
+                            errors[s] = rehydrate_error(response)
+                with state_lock:
+                    remaining[0] -= 1
+                    done = remaining[0] == 0
+                if done:
+                    finish()
+
+            return callback
+
+        for client in self.clients:
+            client.call(payload).add_done_callback(on_shard(client.shard))
+        return outcome_future
+
+    def run(self, queries: Sequence[str]) -> list[QueryOutcome]:
+        """Run a batch; outcomes come back in submission order."""
+        futures = [self.submit(query, i) for i, query in enumerate(queries)]
+        return [future.result() for future in futures]
+
+    # -- routed writes ---------------------------------------------------
+
+    def add(self, document) -> int:
+        """Route one document (XML text, node, or document) to its shard."""
+        from repro.doc.model import XmlDocument, XmlNode
+
+        if isinstance(document, XmlDocument):
+            xml = document.root.to_xml()
+        elif isinstance(document, XmlNode):
+            xml = document.to_xml()
+        else:
+            xml = str(document)
+        with self._write_lock:
+            g = self.map.next_doc_id
+            from repro.shard.routing import shard_of
+
+            s = shard_of(g, self.nshards, self.map.hash_fn)
+            expect_local = len(self.map.globals_of(s))
+            response = self.clients[s].call(
+                {"op": "add", "xml": xml, "expect_local": expect_local}
+            ).result()
+            if not response.get("ok"):
+                raise rehydrate_error(response)
+            self.map.append_next()
+            self._manifest_dirty = True
+            return g
+
+    def remove(self, doc_id: int) -> None:
+        with self._write_lock:
+            s, local = self.map.route(doc_id)
+            response = self.clients[s].call(
+                {"op": "remove", "local_id": local}
+            ).result()
+            if not response.get("ok"):
+                raise rehydrate_error(response)
+
+    # -- observability ---------------------------------------------------
+
+    def stats(self) -> dict:
+        """Per-shard metrics snapshots under ``shard.<K>`` keys."""
+        futures = [
+            (client.shard, client.call({"op": "stats"})) for client in self.clients
+        ]
+        shards: dict[str, object] = {}
+        for s, future in futures:
+            try:
+                response = future.result(_SPAWN_TIMEOUT)
+            except BaseException as exc:  # noqa: BLE001 - reported inline
+                shards[str(s)] = f"<error: {exc}>"
+                continue
+            shards[str(s)] = (
+                response.get("snapshot")
+                if response.get("ok")
+                else f"<error: {response.get('error')}>"
+            )
+        return {
+            "shard": shards,
+            "routing": {
+                "nshards": self.nshards,
+                "next_doc_id": self.map.next_doc_id,
+                "routed": self.map.shard_counts(),
+            },
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for client in self.clients:
+            try:
+                client.close()
+            except Exception:
+                pass
+        if self._manifest_dirty:
+            write_manifest(self.dbdir, self.nshards, self.map.next_doc_id)
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

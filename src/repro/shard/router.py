@@ -1,0 +1,356 @@
+"""ShardRouter: the embedded (in-process) view of a sharded directory.
+
+A sharded database directory holds a manifest plus one *complete* index
+directory per shard::
+
+    DBDIR/
+      shards.json          # {"version": 1, "nshards": N, "next_doc_id": M}
+      schema.dtd           # optional, copied into every shard
+      shard-0/  vist.db  vist.db.wal  docs.dat  sources.dat  schema.dtd
+      shard-1/  ...
+
+Each shard is opened exactly like a single-directory database
+(:func:`repro.cli.open_index`): its own pager, WAL, buffer pool,
+docstore and source store.  The router owns add/remove routing (global
+id → stable hash → shard, see :mod:`repro.shard.routing`), answers
+queries by a *sequential* scatter over the open shards (the
+process-parallel path is :class:`~repro.shard.executor.ShardedExecutor`),
+and implements ``repro reshard`` — rebuilding the directory under a new
+shard count while preserving every global id and every answer.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.doc.model import XmlDocument, XmlNode
+from repro.errors import IndexStateError
+from repro.obs.metrics import MetricsRegistry
+from repro.shard.routing import (
+    MANIFEST_FILE,
+    HashFn,
+    ShardMap,
+    is_sharded,
+    read_manifest,
+    shard_dir,
+    write_manifest,
+)
+
+__all__ = ["ShardRouter", "reshard_db"]
+
+_SCHEMA_FILE = "schema.dtd"
+
+
+def _open_shard(path: Path):
+    from repro.cli import open_index
+
+    return open_index(path)
+
+
+def _close_shard(index) -> None:
+    from repro.cli import _close_index
+
+    _close_index(index)
+
+
+class ShardRouter:
+    """Open (or create) a sharded database directory in-process.
+
+    ``nshards`` is required when creating, must match the manifest (or be
+    ``None``) when opening.  ``hash_fn`` overrides the stable routing
+    hash — test-only, for forcing placement (it is *not* persisted, so a
+    directory written with a custom hash must be reopened with it).
+    """
+
+    def __init__(
+        self,
+        dbdir,
+        nshards: Optional[int] = None,
+        *,
+        schema_path: Optional[Path] = None,
+        hash_fn: Optional[HashFn] = None,
+    ) -> None:
+        self.dbdir = Path(dbdir)
+        if is_sharded(self.dbdir):
+            manifest = read_manifest(self.dbdir)
+            if nshards is not None and nshards != manifest["nshards"]:
+                raise IndexStateError(
+                    f"{self.dbdir} is sharded {manifest['nshards']} ways; "
+                    f"got nshards={nshards} (use `repro reshard` to change)"
+                )
+            self.nshards = manifest["nshards"]
+            next_doc_id = manifest["next_doc_id"]
+        else:
+            if nshards is None:
+                raise IndexStateError(
+                    f"{self.dbdir} has no {MANIFEST_FILE}; pass nshards to "
+                    "create a sharded database"
+                )
+            self.nshards = nshards
+            next_doc_id = 0
+            self.dbdir.mkdir(parents=True, exist_ok=True)
+            if schema_path is not None:
+                (self.dbdir / _SCHEMA_FILE).write_text(schema_path.read_text())
+        self.map = ShardMap(self.nshards, next_doc_id, hash_fn=hash_fn)
+        schema_text = None
+        top_schema = self.dbdir / _SCHEMA_FILE
+        if top_schema.exists():
+            schema_text = top_schema.read_text()
+        self.shards = []
+        for k in range(self.nshards):
+            path = shard_dir(self.dbdir, k)
+            path.mkdir(parents=True, exist_ok=True)
+            if schema_text is not None and not (path / _SCHEMA_FILE).exists():
+                (path / _SCHEMA_FILE).write_text(schema_text)
+            self.shards.append(_open_shard(path))
+        # a crash may have left the manifest behind the shard stores;
+        # replay the routing rule forward until the map explains them
+        recovered = self.map.recover(
+            [shard.docstore.id_bound for shard in self.shards]
+        )
+        self._closed = False
+        if recovered or not is_sharded(self.dbdir):
+            self._write_manifest()
+        # per-shard registries aggregated under shard.K.* dotted names
+        self.metrics = MetricsRegistry()
+        for k, shard in enumerate(self.shards):
+            self.metrics.register(f"shard.{k}", shard.metrics)
+        self.metrics.register("routing", self._routing_report)
+
+    # -- routing ---------------------------------------------------------
+
+    def _routing_report(self) -> dict:
+        live = [0] * self.nshards
+        for k, shard in enumerate(self.shards):
+            live[k] = len(shard.docstore)
+        return {
+            "nshards": self.nshards,
+            "next_doc_id": self.map.next_doc_id,
+            "routed": self.map.shard_counts(),
+            "live": live,
+        }
+
+    def _write_manifest(self) -> None:
+        write_manifest(self.dbdir, self.nshards, self.map.next_doc_id)
+
+    def shard_dirs(self) -> list[Path]:
+        return [shard_dir(self.dbdir, k) for k in range(self.nshards)]
+
+    # -- ingestion -------------------------------------------------------
+
+    def add(self, document: Union[XmlDocument, XmlNode]) -> int:
+        """Route one document to its shard; returns its *global* id."""
+        from repro.shard.routing import shard_of
+
+        self._ensure_open()
+        g = self.map.next_doc_id  # peek: only commit the id if the add lands
+        s = shard_of(g, self.nshards, self.map.hash_fn)
+        expect_local = len(self.map.globals_of(s))
+        local = self.shards[s].add(document)
+        if local != expect_local:
+            raise IndexStateError(
+                f"shard {s} assigned local id {local} to global {g} "
+                f"(expected {expect_local}); the shard was mutated outside "
+                "the router"
+            )
+        g2, s2, l2 = self.map.append_next()
+        assert (g2, s2, l2) == (g, s, expect_local)
+        return g
+
+    def add_all(self, documents: Iterable[Union[XmlDocument, XmlNode]]) -> list[int]:
+        return [self.add(doc) for doc in documents]
+
+    def remove(self, doc_id: int) -> None:
+        """Tombstone a document in its shard; global ids are never reused."""
+        self._ensure_open()
+        s, local = self.map.route(doc_id)
+        self.shards[s].remove(local)
+
+    # -- querying --------------------------------------------------------
+
+    def query(self, query, *, verify: bool = False, guard_factory=None) -> list[int]:
+        """Sequential scatter-gather: the union of per-shard answers.
+
+        Each shard evaluates independently (its own guard when
+        ``guard_factory`` is given) and local ids are mapped back to
+        global ids; the union is exact because membership is a
+        per-document decision.  Errors propagate — the fault-isolating
+        path is the process-backed executor.
+        """
+        self._ensure_open()
+        out: list[int] = []
+        for s, shard in enumerate(self.shards):
+            guard = guard_factory() if guard_factory is not None else None
+            locals_ = shard.query(query, verify=verify, guard=guard)
+            globals_of = self.map.globals_of(s)
+            out.extend(globals_of[local] for local in locals_)
+        return sorted(out)
+
+    def query_nodes(self, query) -> dict[int, list[int]]:
+        """Node-granularity scatter: global doc id → matched positions."""
+        self._ensure_open()
+        out: dict[int, list[int]] = {}
+        for s, shard in enumerate(self.shards):
+            globals_of = self.map.globals_of(s)
+            for local, positions in shard.query_nodes(query).items():
+                out[globals_of[local]] = positions
+        return out
+
+    # -- document access -------------------------------------------------
+
+    def doc_ids(self) -> Iterator[int]:
+        """Live global ids, ascending."""
+        for g in range(self.map.next_doc_id):
+            s, local = self.map.route(g)
+            if local in self.shards[s].docstore:
+                yield g
+
+    def __len__(self) -> int:
+        return sum(len(shard.docstore) for shard in self.shards)
+
+    def load_sequence(self, doc_id: int):
+        s, local = self.map.route(doc_id)
+        return self.shards[s].load_sequence(local)
+
+    def get_document(self, doc_id: int):
+        s, local = self.map.route(doc_id)
+        return self.shards[s].get_document(local)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def flush(self) -> None:
+        self._ensure_open()
+        for shard in self.shards:
+            shard.flush()
+        self._write_manifest()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        errors = []
+        for shard in self.shards:
+            try:
+                _close_shard(shard)
+            except Exception as exc:  # close every shard before raising
+                errors.append(exc)
+        self._write_manifest()
+        if errors:
+            raise errors[0]
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise IndexStateError("router is closed")
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def reshard_db(
+    dbdir,
+    new_nshards: int,
+    *,
+    hash_fn: Optional[HashFn] = None,
+) -> dict:
+    """Rebalance ``dbdir`` to ``new_nshards`` shards, preserving global ids.
+
+    Every global id ever assigned is replayed into a fresh layout built
+    under ``DBDIR/reshard.tmp`` — live documents re-inserted (sequence
+    and stored source), removed ids tombstoned positionally — so the
+    derivable id map stays exact under the new shard count.  The fresh
+    shards must pass every structural invariant before they atomically
+    replace the old directories.  Returns a small report dict.
+    """
+    from repro.testing.invariants import assert_invariants
+
+    if new_nshards < 1:
+        raise IndexStateError(f"new_nshards must be >= 1, got {new_nshards}")
+    dbdir = Path(dbdir)
+    old = ShardRouter(dbdir, hash_fn=hash_fn)
+    tmp_root = dbdir / "reshard.tmp"
+    if tmp_root.exists():
+        shutil.rmtree(tmp_root)  # leftovers of an interrupted reshard
+    tmp_root.mkdir()
+    report = {"old_nshards": old.nshards, "new_nshards": new_nshards,
+              "documents": 0, "tombstones": 0}
+    schema_text = None
+    top_schema = dbdir / _SCHEMA_FILE
+    if top_schema.exists():
+        schema_text = top_schema.read_text()
+    new_map = ShardMap(new_nshards, hash_fn=hash_fn)
+    new_shards = []
+    for k in range(new_nshards):
+        path = tmp_root / f"shard-{k}"
+        path.mkdir()
+        if schema_text is not None:
+            (path / _SCHEMA_FILE).write_text(schema_text)
+        new_shards.append(_open_shard(path))
+    try:
+        for g in range(old.map.next_doc_id):
+            g2, s, expect_local = new_map.append_next()
+            assert g2 == g
+            target = new_shards[s]
+            old_s, old_local = old.map.route(g)
+            old_shard = old.shards[old_s]
+            if old_local in old_shard.docstore:
+                local = target.add_sequence(old_shard.load_sequence(old_local))
+                source = None
+                if (
+                    old_shard.source_store is not None
+                    and old_local in old_shard.source_store
+                ):
+                    source = old_shard.source_store.get(old_local)
+                if target.source_store is not None:
+                    sid = target.source_store.add(source if source is not None else b"")
+                    if source is None:
+                        target.source_store.remove(sid)
+                    if sid != expect_local:
+                        raise IndexStateError(
+                            f"reshard source-id drift: global {g} landed at "
+                            f"source slot {sid}, expected {expect_local}"
+                        )
+                report["documents"] += 1
+            else:
+                # burn the id positionally in both stores
+                local = target.docstore.add(b"")
+                target.docstore.remove(local)
+                if target.source_store is not None:
+                    sid = target.source_store.add(b"")
+                    target.source_store.remove(sid)
+                report["tombstones"] += 1
+            if local != expect_local:
+                raise IndexStateError(
+                    f"reshard id drift: global {g} landed at local {local}, "
+                    f"expected {expect_local}; aborting before replacing anything"
+                )
+        for shard in new_shards:
+            assert_invariants(shard)
+            shard.flush()
+    finally:
+        for shard in new_shards:
+            try:
+                _close_shard(shard)
+            except Exception:
+                pass
+        next_doc_id = old.map.next_doc_id
+        old.close()
+    # promote: move the old shard dirs aside, the new ones in, then drop
+    # the old.  The manifest is rewritten only after the swap succeeds.
+    old_root = dbdir / "reshard.old"
+    if old_root.exists():
+        shutil.rmtree(old_root)
+    old_root.mkdir()
+    for k in range(report["old_nshards"]):
+        os.replace(shard_dir(dbdir, k), old_root / f"shard-{k}")
+    for k in range(new_nshards):
+        os.replace(tmp_root / f"shard-{k}", shard_dir(dbdir, k))
+    write_manifest(dbdir, new_nshards, next_doc_id)
+    shutil.rmtree(old_root)
+    tmp_root.rmdir()
+    return report

@@ -91,6 +91,75 @@ class TestMainExitCodes:
         assert gate(None, {"headline_seconds": 1.0}) == 2
         assert "did the benchmark run" in capsys.readouterr().err
 
+    def test_qps_drop_fails(self, gate, capsys):
+        current = {
+            "headline_seconds": 1.0,
+            "parallel": {"parallel_qps": 20.0},
+        }
+        baseline = {
+            "headline_seconds": 1.0,
+            "parallel": {"parallel_qps": 100.0},
+        }
+        assert gate(current, baseline) == 1
+        out = capsys.readouterr().out
+        assert "parallel.qps" in out and "REGRESSION" in out
+
+    def test_qps_within_floor_ok(self, gate, capsys):
+        current = {"headline_seconds": 1.0, "parallel": {"parallel_qps": 90.0}}
+        baseline = {"headline_seconds": 1.0, "parallel": {"parallel_qps": 100.0}}
+        assert gate(current, baseline) == 0
+        assert "parallel.qps" in capsys.readouterr().out
+
+    def test_qps_improvement_ok(self, gate, capsys):
+        # qps regresses downward; a 10x gain must never trip the gate
+        current = {"headline_seconds": 1.0, "parallel": {"parallel_qps": 1000.0}}
+        baseline = {"headline_seconds": 1.0, "parallel": {"parallel_qps": 100.0}}
+        assert gate(current, baseline) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_sharded_block_gated_per_worker_count(self, gate, capsys):
+        sharded = lambda w4_qps: {
+            "single_process_qps": 100.0,
+            "workers": [
+                {"workers": 1, "qps": 90.0},
+                {"workers": 4, "qps": w4_qps},
+            ],
+        }
+        current = {"headline_seconds": 1.0, "sharded": sharded(50.0)}
+        baseline = {"headline_seconds": 1.0, "sharded": sharded(300.0)}
+        assert gate(current, baseline) == 1
+        out = capsys.readouterr().out
+        assert "sharded.w4.qps" in out and "REGRESSION" in out
+        assert out.count("OK") >= 3  # headline, w1, single_process all fine
+
+    def test_baseline_without_block_skips_with_message(self, gate, capsys):
+        current = {
+            "headline_seconds": 1.0,
+            "sharded": {"single_process_qps": 100.0,
+                        "workers": [{"workers": 2, "qps": 150.0}]},
+        }
+        baseline = {"headline_seconds": 1.0}  # written before sharding existed
+        assert gate(current, baseline) == 0
+        out = capsys.readouterr().out
+        assert "sharded.w2.qps: baseline has no such figure; skipping" in out
+
+    def test_custom_qps_factor(self, gate, capsys):
+        current = {"headline_seconds": 1.0, "parallel": {"parallel_qps": 60.0}}
+        baseline = {"headline_seconds": 1.0, "parallel": {"parallel_qps": 100.0}}
+        assert gate(current, baseline, "--qps-factor", "1.25") == 1
+        assert gate(current, baseline, "--qps-factor", "2.0") == 0
+
+    def test_unusable_qps_values_ignored(self, gate, capsys):
+        current = {
+            "headline_seconds": 1.0,
+            "parallel": {"parallel_qps": "fast"},
+            "sharded": {"workers": [{"workers": True, "qps": 5.0},
+                                    {"workers": 2, "qps": -1.0}, "junk"]},
+        }
+        baseline = {"headline_seconds": 1.0, "parallel": {"parallel_qps": 100.0}}
+        assert gate(current, baseline) == 0
+        assert "qps" not in capsys.readouterr().out
+
     def test_skip_and_regression_mix_still_fails(self, tmp_path, monkeypatch, capsys):
         # one snapshot skips (keyless baseline), the other regresses:
         # the skip must not mask the failure exit code

@@ -156,12 +156,22 @@ class TestRoundTrip:
             "/book/author[text()='David']",
             "/a[b/c]/d",
             "/site//item",
+            "/a[//d]/b",
+            "/a[//d[text()='7']]/c",
+            "/a[b//c='v']/d",
         ],
     )
     def test_to_xpath_reparses_equal(self, expr):
         first = parse_xpath(expr)
         again = parse_xpath(first.to_xpath())
         assert again == first
+
+    def test_descendant_predicate_renders_parseable(self):
+        # regression: a // branch inside a predicate used to render as
+        # [/d] which the parser itself rejected
+        query = parse_xpath("/a[//d[text()='7']]/c")
+        assert "[//d" in query.to_xpath()
+        assert parse_xpath(query.to_xpath()) == query
 
 
 class TestParseErrors:
