@@ -28,10 +28,12 @@ from repro.doc.schema import Schema
 from repro.doc.split import split_records
 from repro.errors import (
     CorruptionError,
+    ProtocolError,
     QueryBudgetExceededError,
     QueryTimeoutError,
     ReproError,
     ShardQueryError,
+    ShardUnavailableError,
     TransientIOError,
 )
 from repro.index.guard import QueryGuard
@@ -53,6 +55,8 @@ EXIT_CORRUPT = 3  # checksum failure reading stored data
 EXIT_TIMEOUT = 4  # query exceeded its --deadline-ms
 EXIT_BUDGET = 5  # query exceeded --max-steps / --max-page-reads
 EXIT_TRANSIENT = 6  # I/O fault persisted through every retry
+EXIT_PROTOCOL = 7  # shard wire-protocol violation (torn/oversized frame)
+EXIT_UNAVAILABLE = 8  # a shard's worker is dead/unreachable past its budget
 
 _EPILOG = """\
 exit codes:
@@ -63,11 +67,19 @@ exit codes:
   4  query exceeded its --deadline-ms
   5  query exceeded --max-steps or --max-page-reads
   6  transient I/O fault persisted through every retry
+  7  shard wire-protocol violation (torn, oversized, or undecodable frame)
+  8  shard unavailable: a worker died or stalled past its restart budget
 
 when your index is damaged (exit code 3, or a read-suspect health
 report from `repro stats`): run `repro scrub DBDIR` to assess, then
 `repro salvage DBDIR` to rebuild the index from the intact document
 store.  See docs/INTERNALS.md section 9.
+
+when a worker dies (exit code 8 from `query --workers`/`serve`): the
+supervisor restarts it with backoff automatically; pass --partial to
+keep answering from the live shards (responses are annotated with the
+missing shard set), and check `repro stats --json --workers N` for
+shard.K.unavailable counters.  See docs/INTERNALS.md section 13.
 """
 
 
@@ -88,6 +100,8 @@ def main(argv: Optional[list[str]] = None) -> int:
                         QueryBudgetExceededError,
                         CorruptionError,
                         TransientIOError,
+                        ProtocolError,
+                        ShardUnavailableError,
                     ),
                 ):
                     print(f"error: {exc}", file=sys.stderr)
@@ -110,6 +124,18 @@ def main(argv: Optional[list[str]] = None) -> int:
     except TransientIOError as exc:
         print(f"persistent I/O fault: {exc}", file=sys.stderr)
         return EXIT_TRANSIENT
+    except ProtocolError as exc:
+        print(f"protocol violation: {exc}", file=sys.stderr)
+        return EXIT_PROTOCOL
+    except ShardUnavailableError as exc:
+        print(
+            f"shard unavailable: {exc}\n"
+            "the supervisor restarts dead workers automatically; pass "
+            "--partial to answer from the live shards (see docs/INTERNALS.md "
+            "section 13)",
+            file=sys.stderr,
+        )
+        return EXIT_UNAVAILABLE
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR
@@ -207,6 +233,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "times scatter-gather across the N per-shard worker processes "
         "and report the throughput (N must match the shard count)",
     )
+    p_query.add_argument(
+        "--partial",
+        action="store_true",
+        help="with --workers: degrade to partial results (annotated with "
+        "the missing shard set) when a shard is down, instead of failing "
+        "with exit code 8",
+    )
+    p_query.add_argument(
+        "--hedge-ms",
+        type=float,
+        metavar="MS",
+        help="with --workers: duplicate a shard call that has not answered "
+        "after MS milliseconds and take the first response (hedged reads)",
+    )
     p_query.set_defaults(handler=_cmd_query)
 
     p_serve = sub.add_parser(
@@ -247,6 +287,20 @@ def _build_parser() -> argparse.ArgumentParser:
         default="127.0.0.1",
         help="TCP bind address for --port (default 127.0.0.1)",
     )
+    p_serve.add_argument(
+        "--partial",
+        action="store_true",
+        help="sharded DBDIR only: answer from the live shards (responses "
+        "annotated with the missing shard set) when a worker is down, "
+        "instead of erroring the affected queries",
+    )
+    p_serve.add_argument(
+        "--hedge-ms",
+        type=float,
+        metavar="MS",
+        help="sharded DBDIR only: duplicate a shard call that has not "
+        "answered after MS milliseconds and take the first response",
+    )
     p_serve.set_defaults(handler=_cmd_serve)
 
     p_nodes = sub.add_parser("nodes", help="node-granularity query results")
@@ -265,6 +319,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="dump the full metrics registry as one JSON document",
+    )
+    p_stats.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="sharded DBDIR only: collect stats through N live worker "
+        "processes (includes the supervision block: shard states, "
+        "restart/unavailable counters)",
     )
     p_stats.set_defaults(handler=_cmd_stats)
 
@@ -393,6 +455,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         raise ReproError(
             f"{args.dbdir} is not sharded; --workers needs a database built "
             "with `repro index --shards N` (use --parallel for threads)"
+        )
+    if args.partial or args.hedge_ms is not None:
+        raise ReproError(
+            "--partial/--hedge-ms apply to sharded scatter-gather; "
+            "use them with --workers on a sharded database"
         )
     guard = None
     if args.deadline_ms is not None or args.max_steps is not None or args.max_page_reads is not None:
@@ -527,17 +594,26 @@ def _query_sharded(args: argparse.Namespace) -> int:
     worker processes like ``--parallel`` does over threads.
     """
     for flag, name in (
-        (args.explain, "--explain"),
+        (args.explain and args.workers is None, "--explain"),
         (args.profile, "--profile"),
         (args.engine != "vist", "--engine"),
     ):
         if flag:
-            raise ReproError(f"{name} is not supported on sharded databases")
+            raise ReproError(
+                f"{name} is not supported on sharded databases"
+                + (" (except --explain with --workers)" if name == "--explain" else "")
+            )
     if args.parallel:
         raise ReproError(
             "--parallel threads share one open index; on a sharded "
             "database use --workers N (N = shard count)"
         )
+    if args.partial or args.hedge_ms is not None:
+        if args.workers is None:
+            raise ReproError(
+                "--partial/--hedge-ms need the worker-process path; "
+                "add --workers N (N = shard count)"
+            )
     if args.workers is not None:
         return _run_sharded_query(args)
     from repro.shard import ShardRouter
@@ -560,6 +636,20 @@ def _query_sharded(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_shard_spans(outcome) -> str:
+    """Per-shard span lines for ``--explain`` on the scatter-gather path."""
+    lines = ["shard spans:"]
+    for shard, span in (outcome.shard_detail or {}).items():
+        status = span.get("status", "?")
+        if status == "ok":
+            lines.append(
+                f"  shard {shard}: ok in {span.get('elapsed_ms', 0.0):.1f} ms"
+            )
+        else:
+            lines.append(f"  shard {shard}: {status} ({span.get('error', '')})")
+    return "\n".join(lines)
+
+
 def _run_sharded_query(args: argparse.Namespace) -> int:
     """``query --workers N``: the same query --repeat times over N processes."""
     import time
@@ -572,23 +662,41 @@ def _run_sharded_query(args: argparse.Namespace) -> int:
         workers=args.workers,
         verify=args.verify,
         guard_spec=_guard_spec(args),
+        partial=args.partial,
+        hedge_ms=args.hedge_ms,
     ) as executor:
         t0 = time.perf_counter()
         outcomes = executor.run([args.xpath] * repeat)
         elapsed = time.perf_counter() - t0
     for outcome in outcomes:
         outcome.unwrap()  # propagate shard/guard errors to main()
-    distinct = {frozenset(outcome.result) for outcome in outcomes}
-    if len(distinct) != 1:
+    complete = [o for o in outcomes if not o.missing_shards]
+    partial = [o for o in outcomes if o.missing_shards]
+    # identical queries must agree — among the outcomes that saw every
+    # shard (a shard dying mid-batch legitimately shrinks partial ones)
+    distinct = {frozenset(outcome.result) for outcome in complete}
+    if len(distinct) > 1:
         print(
             f"error: {len(distinct)} distinct result sets across "
-            f"{repeat} identical scatter-gather runs",
+            f"{len(complete)} identical scatter-gather runs",
             file=sys.stderr,
         )
         return EXIT_ERROR
-    result = set(outcomes[0].result)
+    shown = complete[0] if complete else outcomes[0]
+    result = set(shown.result)
     mode = "verified" if args.verify else "raw"
+    if shown.missing_shards:
+        mode += f", partial: missing shards {shown.missing_shards}"
     print(f"{len(result)} match(es) ({mode}): {result}")
+    if partial:
+        missing = sorted({s for o in partial for s in o.missing_shards})
+        print(
+            f"partial: {len(partial)}/{repeat} response(s) missing "
+            f"shard(s) {missing}",
+            file=sys.stderr,
+        )
+    if args.explain:
+        print(_render_shard_spans(shown))
     qps = repeat / elapsed if elapsed > 0 else float("inf")
     print(
         f"sharded: {repeat} queries x {args.workers} worker process(es) "
@@ -614,6 +722,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{args.dbdir} is not sharded; --workers needs a database "
             "built with `repro index --shards N`"
         )
+    if not sharded and (args.partial or args.hedge_ms is not None):
+        raise ReproError(
+            "--partial/--hedge-ms apply to sharded scatter-gather serving; "
+            f"{args.dbdir} is not sharded"
+        )
     if sharded:
         from repro.shard import ShardedExecutor
 
@@ -623,6 +736,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             verify=args.verify,
             guard_spec=_guard_spec(args),
             threads_per_worker=max(1, args.threads // 2),
+            partial=args.partial,
+            hedge_ms=args.hedge_ms,
         ) as executor:
             return _serve_loop(args, executor)
     from repro.exec import QueryExecutor
@@ -678,9 +793,12 @@ def _print_served(xpath: str, future) -> None:
     outcome = future.result()
     if outcome.ok:
         result = outcome.result
+        note = ""
+        if getattr(outcome, "missing_shards", None):
+            note = f" (partial: missing shards {outcome.missing_shards})"
         print(
             f"{outcome.position}\t{xpath}\t"
-            f"{len(result)} match(es): {sorted(result)}"
+            f"{len(result)} match(es): {sorted(result)}{note}"
         )
     else:
         print(f"{outcome.position}\t{xpath}\terror: {outcome.error}")
@@ -721,6 +839,8 @@ def _serve_tcp(executor, host: str, port: int) -> int:
                 payload = {"position": position, "xpath": xpath, "ok": outcome.ok}
                 if outcome.ok:
                     payload["result"] = sorted(outcome.result)
+                    if getattr(outcome, "missing_shards", None):
+                        payload["missing_shards"] = outcome.missing_shards
                 else:
                     payload["error"] = str(outcome.error)
                     payload["error_type"] = type(outcome.error).__name__
@@ -970,6 +1090,13 @@ def _cmd_reshard(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.shard import is_sharded
 
+    if args.workers is not None:
+        if not is_sharded(args.dbdir):
+            raise ReproError(
+                f"{args.dbdir} is not sharded; --workers needs a database "
+                "built with `repro index --shards N`"
+            )
+        return _stats_workers(args)
     if is_sharded(args.dbdir):
         return _stats_sharded(args)
     index = open_index(args.dbdir)
@@ -994,6 +1121,37 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         _print_health(args.dbdir, index)
     finally:
         _close_index(index)
+    return 0
+
+
+def _stats_workers(args: argparse.Namespace) -> int:
+    """``stats --workers N``: stats through live worker processes.
+
+    Unlike the embedded path this includes the ``supervision`` block —
+    per-shard states (healthy/restarting/down) and the restart /
+    unavailable / retry / hedge counters of the fault-tolerance layer.
+    """
+    import json
+
+    from repro.shard import ShardedExecutor
+
+    with ShardedExecutor(args.dbdir, workers=args.workers) as executor:
+        snapshot = executor.stats()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True, default=str))
+        return 0
+    routing = snapshot["routing"]
+    print(
+        f"routing: {routing['nshards']} shard(s), "
+        f"next_doc_id {routing['next_doc_id']}, routed {routing['routed']}"
+    )
+    supervision = snapshot["supervision"]
+    states = ", ".join(
+        f"shard {k}: {v}" for k, v in sorted(supervision["states"].items())
+    )
+    print(f"supervision: {states}")
+    if supervision.get("down"):
+        print(f"  down shards: {supervision['down']}")
     return 0
 
 

@@ -174,6 +174,38 @@ class ShardError(ReproError):
     """Base class for sharded-serving failures (routing, wire, workers)."""
 
 
+class ProtocolError(ShardError):
+    """The shard wire protocol was violated.
+
+    Covers framing damage (a length prefix over the 64 MiB cap, a stream
+    cut mid-frame, a payload that is not UTF-8 JSON) and malformed
+    request/response objects.  CLI exit code 7 — a protocol violation
+    means a bug or a hostile/damaged peer, never a query-shaped failure,
+    so it is kept distinct from both generic errors and corruption.
+    """
+
+
+class ShardUnavailableError(ShardError):
+    """A shard's worker did not answer: dead, unreachable, or too slow.
+
+    Raised (or captured into a :class:`ShardQueryError`) when a worker
+    process exits, its connection reaches EOF/reset, an RPC misses its
+    deadline, or the shard has been marked ``down`` after exhausting its
+    restart budget.  This is the *availability* failure class: it is the
+    only kind of per-shard failure that ``--partial`` mode degrades into
+    a missing-shard annotation, and the only kind the per-RPC retry
+    machinery considers retryable.  CLI exit code 8.
+    """
+
+    def __init__(self, shard: int, reason: str = "") -> None:
+        message = f"shard {shard} is unavailable"
+        if reason:
+            message += f": {reason}"
+        super().__init__(message)
+        self.shard = shard
+        self.reason = reason
+
+
 class ShardQueryError(ShardError):
     """One or more shards failed to answer a scatter-gather query.
 

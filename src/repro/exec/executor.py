@@ -41,6 +41,14 @@ class QueryOutcome:
     error: Optional[BaseException] = None
     elapsed_ms: float = 0.0
     guard: Optional[QueryGuard] = field(default=None, repr=False)
+    #: sharded scatter-gather only: shards that could not answer when the
+    #: executor ran in ``partial`` mode.  ``None`` means the result is
+    #: complete; a list (possibly long) means ``result`` is the exact
+    #: union of the *answering* shards and nothing more is claimed.
+    missing_shards: Optional[list[int]] = None
+    #: sharded scatter-gather only: per-shard spans for ``--explain``
+    #: ({shard: {"status", "elapsed_ms"|"error"}}).
+    shard_detail: Optional[dict] = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:

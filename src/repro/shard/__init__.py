@@ -22,7 +22,11 @@ Layers:
   :class:`~repro.exec.executor.QueryExecutor` + RWLock machinery;
 * :mod:`repro.shard.executor` — :class:`ShardedExecutor`, the
   scatter-gather client that fans queries out over sockets and merges
-  ordered :class:`~repro.exec.executor.QueryOutcome` results.
+  ordered :class:`~repro.exec.executor.QueryOutcome` results;
+* :mod:`repro.shard.supervisor` — worker supervision: the
+  healthy → restarting → down state machine, the jittered-backoff
+  :class:`RestartPolicy`, and the scheduler thread that also drives
+  per-RPC retries, hedges, and deadlines (docs/INTERNALS.md section 13).
 """
 
 from repro.shard.routing import MANIFEST_FILE, ShardMap, is_sharded, shard_of
@@ -30,17 +34,26 @@ from repro.shard.router import ShardRouter, reshard_db
 
 __all__ = [
     "MANIFEST_FILE",
+    "RestartPolicy",
     "ShardMap",
     "ShardRouter",
+    "ShardedExecutor",
     "is_sharded",
     "reshard_db",
     "shard_of",
 ]
 
+_LAZY = {
+    # executor pulls in subprocess/socket plumbing; supervisor rides along
+    "ShardedExecutor": "repro.shard.executor",
+    "RestartPolicy": "repro.shard.supervisor",
+}
 
-def __getattr__(name):  # lazy: executor pulls in subprocess/socket plumbing
-    if name == "ShardedExecutor":
-        from repro.shard.executor import ShardedExecutor
 
-        return ShardedExecutor
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -30,7 +30,7 @@ import socket
 import struct
 from typing import Optional
 
-from repro.errors import ShardError
+from repro.errors import ProtocolError, ShardError
 
 __all__ = [
     "FrameError",
@@ -46,13 +46,21 @@ _LEN = struct.Struct(">I")
 MAX_FRAME = 64 * 1024 * 1024
 
 
-class FrameError(ShardError):
-    """The byte stream does not parse as length-prefixed JSON frames."""
+class FrameError(ProtocolError):
+    """The byte stream does not parse as length-prefixed JSON frames.
+
+    A :class:`~repro.errors.ProtocolError` (CLI exit code 7): raised for
+    oversized length prefixes, streams cut mid-frame, and payloads that
+    are not UTF-8 JSON — never a raw ``ValueError``/``JSONDecodeError``.
+    """
 
 
 def send_frame(sock: socket.socket, obj) -> None:
     """Serialise ``obj`` and write one frame (atomic ``sendall``)."""
-    data = json.dumps(obj, default=str).encode("utf-8")
+    try:
+        data = json.dumps(obj, default=str).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise FrameError(f"payload is not JSON-serialisable: {exc}") from exc
     if len(data) > MAX_FRAME:
         raise FrameError(f"frame of {len(data)} bytes exceeds {MAX_FRAME}")
     sock.sendall(_LEN.pack(len(data)) + data)
@@ -96,10 +104,15 @@ def rehydrate_error(response: dict) -> BaseException:
     Known :mod:`repro.errors` classes come back as a same-class instance
     (message-only — structured constructor args do not cross the wire),
     so ``QueryTimeoutError`` still maps to exit code 4 at the CLI.
-    Unknown types degrade to :class:`ShardError`.
+    Anything else — an unknown ``error_type``, a non-exception name, a
+    class whose construction misbehaves, even a response that is not a
+    dict — degrades to a generic :class:`ShardError`; rehydration never
+    raises on its own.
     """
     import repro.errors as errors_mod
 
+    if not isinstance(response, dict):
+        return errors_mod.ShardError(f"malformed worker error response: {response!r}")
     message = str(response.get("error", "unknown worker error"))
     name = response.get("error_type", "")
     cls = getattr(errors_mod, str(name), None)
@@ -107,7 +120,10 @@ def rehydrate_error(response: dict) -> BaseException:
         # bypass structured __init__ signatures (QueryTimeoutError takes
         # floats, CorruptPageError a path/page/checksums …): the class is
         # what isinstance-based handling keys on, the message is display
-        exc = cls.__new__(cls)
-        BaseException.__init__(exc, message)
-        return exc
+        try:
+            exc = cls.__new__(cls)
+            BaseException.__init__(exc, message)
+            return exc
+        except Exception:  # exotic __new__ — fall through to the generic
+            pass
     return errors_mod.ShardError(f"{name}: {message}" if name else message)

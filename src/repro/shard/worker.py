@@ -22,6 +22,7 @@ instead of holding the shard's WAL hostage.
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import socket
 import sys
@@ -123,8 +124,17 @@ class _ShardServer:
                 from repro.doc.parser import parse_document
 
                 document = parse_document(request["xml"])
-                local = self.index.add(document)
                 expect = request.get("expect_local")
+                # check the router's expectation BEFORE mutating: a stale,
+                # duplicated, or replayed add must fail loudly without
+                # inserting — writes are at-most-once, never retried
+                if expect is not None and self.index.docstore.id_bound != expect:
+                    raise ReproError(
+                        f"shard would assign local id "
+                        f"{self.index.docstore.id_bound}, router expected "
+                        f"{expect} — layouts have diverged"
+                    )
+                local = self.index.add(document)
                 if expect is not None and local != expect:
                     raise ReproError(
                         f"shard assigned local id {local}, router expected "
@@ -183,11 +193,24 @@ class _ShardServer:
         self.executor.close()
 
 
-def serve_shard(shard_dir: Path, host: str, port: int, threads: int) -> int:
+def serve_shard(
+    shard_dir: Path,
+    host: str,
+    port: int,
+    threads: int,
+    server_cls: type = _ShardServer,
+) -> int:
+    """Open the shard and serve it until told to stop.
+
+    ``server_cls`` is the fault-injection seam: the chaos harness
+    (:mod:`repro.testing.chaos`) reuses this whole lifecycle — port
+    announcement, stdin orphan watchdog, SIGTERM handling — around a
+    server subclass that injects faults into the reply path.
+    """
     from repro.cli import _close_index, open_index
 
     index = open_index(shard_dir)
-    server = _ShardServer(index, threads)
+    server = server_cls(index, threads)
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     try:
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -196,9 +219,15 @@ def serve_shard(shard_dir: Path, host: str, port: int, threads: int) -> int:
         print(f"PORT {listener.getsockname()[1]}", flush=True)
 
         def stdin_watch():
-            # parent death closes our stdin pipe; fold instead of orphaning
+            # parent death closes our stdin pipe; fold instead of orphaning.
+            # Raw os.read, NOT sys.stdin.buffer.read(): a daemon thread
+            # parked inside the BufferedReader holds its lock, and
+            # interpreter finalization (SIGTERM exit) aborts the whole
+            # process trying to re-acquire it for the flush-on-shutdown.
             try:
-                sys.stdin.buffer.read()
+                fd = sys.stdin.fileno()
+                while os.read(fd, 4096):
+                    pass
             except (OSError, ValueError):
                 pass
             server.stop.set()
@@ -219,7 +248,7 @@ def serve_shard(shard_dir: Path, host: str, port: int, threads: int) -> int:
     return 0
 
 
-def main(argv=None) -> int:
+def main(argv=None, server_cls: type = _ShardServer) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.shard.worker",
         description="serve one index shard over the frame protocol",
@@ -231,7 +260,9 @@ def main(argv=None) -> int:
     parser.add_argument("--threads", type=int, default=2,
                         help="query worker threads over the shard (default 2)")
     args = parser.parse_args(argv)
-    return serve_shard(args.shard_dir, args.host, args.port, args.threads)
+    return serve_shard(
+        args.shard_dir, args.host, args.port, args.threads, server_cls=server_cls
+    )
 
 
 if __name__ == "__main__":

@@ -33,6 +33,9 @@ _EXPORTS = {
     "OracleReport": "repro.testing.oracle",
     "VistConfig": "repro.testing.oracle",
     "VIST_CONFIGS": "repro.testing.oracle",
+    "ChaosConfig": "repro.testing.chaos",
+    "ChaosMonkey": "repro.testing.chaos",
+    "FaultyShardServer": "repro.testing.chaos",
     "CrashingWalPager": "repro.testing.faults",
     "SimulatedCrash": "repro.testing.faults",
     "FaultOutcome": "repro.testing.faults",

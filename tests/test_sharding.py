@@ -358,6 +358,44 @@ class TestProtocol:
         exc = rehydrate_error({"error": "x", "error_type": "ShardMap"})
         assert isinstance(exc, ShardError)
 
+    def test_frame_errors_are_protocol_errors(self):
+        # the typed taxonomy: framing damage is ProtocolError (exit code
+        # 7), never a raw ValueError/JSONDecodeError
+        from repro.errors import ProtocolError, ReproError
+
+        assert issubclass(FrameError, ProtocolError)
+        assert issubclass(ProtocolError, ReproError)
+        sock = _FakeSock()
+        sock.buffer = (64 * 1024 * 1024 + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError):
+            recv_frame(sock)
+
+    def test_undecodable_payload_is_typed(self):
+        sock = _FakeSock()
+        bad = b"\xff\xfe not json"
+        sock.buffer = len(bad).to_bytes(4, "big") + bad
+        with pytest.raises(FrameError, match="undecodable"):
+            recv_frame(sock)
+
+    def test_send_frame_unserialisable_payload_is_typed(self):
+        sock = _FakeSock()
+        circular: dict = {}
+        circular["self"] = circular
+        with pytest.raises(FrameError, match="JSON"):
+            send_frame(sock, circular)
+        # ...and nothing was half-written to the wire
+        assert sock.buffer == b""
+
+    def test_rehydrate_non_dict_response_degrades(self):
+        for junk in (None, "boom", 7, ["err"]):
+            exc = rehydrate_error(junk)
+            assert isinstance(exc, ShardError)
+
+    def test_rehydrate_missing_fields_degrades(self):
+        exc = rehydrate_error({})
+        assert isinstance(exc, ShardError)
+        assert "unknown worker error" in str(exc)
+
 
 # ---------------------------------------------------------------------------
 # worker processes + scatter-gather executor

@@ -1,0 +1,205 @@
+"""Worker process lifecycle: the paths PR 6 left untested.
+
+Covers the orphan/shutdown plumbing of ``python -m repro.shard.worker``:
+
+* **stdin-EOF orphan watchdog** — the parent holds the worker's stdin
+  write end; closing it (what parent death does) must make the worker
+  fold instead of holding the shard's WAL hostage;
+* **SIGTERM** — the handler sets the stop flag: the accept loop drains,
+  the listener closes, and the process exits 0;
+* **--port 0 announcement races** — nothing listens before the
+  ``PORT <n>`` line is printed, and connecting right after reading it
+  always works (the announcement is made *after* ``listen()``).
+
+These spawn real interpreters against a real shard directory.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.doc.model import XmlNode
+from repro.shard.protocol import recv_frame, send_frame
+from repro.shard.routing import shard_dir
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+@pytest.fixture
+def shard_path(tmp_path):
+    """One populated shard directory (shard 0 of a 1-shard database)."""
+    from repro.shard import ShardRouter
+
+    dbdir = tmp_path / "db"
+    with ShardRouter(dbdir, 1) as router:
+        root = XmlNode("r")
+        root.element("a", text="v0")
+        router.add(root)
+    return shard_dir(dbdir, 0)
+
+
+def _spawn_worker(shard_path: Path, extra_args=()) -> subprocess.Popen:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1]) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.shard.worker", str(shard_path), *extra_args],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+
+
+def _read_port(proc: subprocess.Popen, timeout_s: float = 30.0) -> int:
+    deadline = time.monotonic() + timeout_s
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        assert proc.poll() is None, f"worker exited early: {proc.returncode}"
+        ready, _, _ = select.select([proc.stdout], [], [], 0.25)
+        if not ready:
+            continue
+        line = proc.stdout.readline()
+        if line.startswith("PORT "):
+            return int(line.split()[1])
+    raise AssertionError("worker never announced a port")
+
+
+def _wait_exit(proc: subprocess.Popen, timeout_s: float = 15.0) -> int:
+    try:
+        return proc.wait(timeout=timeout_s)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+        raise AssertionError(f"worker did not exit within {timeout_s:g}s")
+
+
+def _cleanup(proc: subprocess.Popen) -> None:
+    for stream in (proc.stdin, proc.stdout):
+        if stream is not None:
+            try:
+                stream.close()
+            except OSError:
+                pass
+
+
+def _ping(port: int) -> dict:
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        send_frame(sock, {"id": 1, "op": "ping"})
+        return recv_frame(sock)
+
+
+class TestStdinWatchdog:
+    def test_stdin_eof_terminates_the_worker(self, shard_path):
+        """Parent death = stdin EOF = the orphan folds, promptly."""
+        proc = _spawn_worker(shard_path)
+        try:
+            port = _read_port(proc)
+            assert _ping(port)["ok"]  # alive and serving
+            proc.stdin.close()  # what a dying parent does to the pipe
+            code = _wait_exit(proc)
+            assert code == 0
+            # and the listener is really gone
+            with pytest.raises(OSError):
+                socket.create_connection(("127.0.0.1", port), timeout=2)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            _cleanup(proc)
+
+
+class TestSigterm:
+    def test_sigterm_closes_listener_and_exits_zero(self, shard_path):
+        proc = _spawn_worker(shard_path)
+        try:
+            port = _read_port(proc)
+            assert _ping(port)["ok"]
+            proc.send_signal(signal.SIGTERM)
+            code = _wait_exit(proc)
+            assert code == 0
+            with pytest.raises(OSError):
+                socket.create_connection(("127.0.0.1", port), timeout=2)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            _cleanup(proc)
+
+    def test_sigterm_mid_connection_still_exits_zero(self, shard_path):
+        proc = _spawn_worker(shard_path)
+        try:
+            port = _read_port(proc)
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+                send_frame(sock, {"id": 1, "op": "ping"})
+                assert recv_frame(sock)["ok"]
+                proc.send_signal(signal.SIGTERM)
+                code = _wait_exit(proc)
+            assert code == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            _cleanup(proc)
+
+
+class TestPortAnnouncement:
+    def test_nothing_listens_before_the_announcement(self, shard_path):
+        """With a pre-picked fixed port: connection refused before spawn,
+        and the announced port equals the requested one after."""
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        # the port is free again: nothing accepts on it
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", port), timeout=1)
+        proc = _spawn_worker(shard_path, extra_args=["--port", str(port)])
+        try:
+            announced = _read_port(proc)
+            assert announced == port
+            # the announcement is printed after listen(): connecting right
+            # after reading the line must always succeed
+            assert _ping(port)["ok"]
+        finally:
+            proc.kill()
+            proc.wait()
+            _cleanup(proc)
+
+    def test_ephemeral_port_is_connectable_immediately(self, shard_path):
+        """--port 0: the announced ephemeral port accepts immediately, on
+        repeated spawns (the race is between listen() and the print)."""
+        for _ in range(3):
+            proc = _spawn_worker(shard_path)
+            try:
+                port = _read_port(proc)
+                assert _ping(port)["ok"]
+            finally:
+                proc.kill()
+                proc.wait()
+                _cleanup(proc)
+
+    def test_shutdown_frame_exits_zero(self, shard_path):
+        proc = _spawn_worker(shard_path)
+        try:
+            port = _read_port(proc)
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+                send_frame(sock, {"id": 1, "op": "shutdown"})
+                assert recv_frame(sock)["ok"]
+            code = _wait_exit(proc)
+            assert code == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            _cleanup(proc)
