@@ -75,12 +75,19 @@ def qps_entries(snapshot: object) -> dict[str, float]:
 
     ``parallel.qps`` is the thread-pool block's ``parallel_qps``;
     ``sharded.single_process_qps`` and ``sharded.w<N>.qps`` come from the
-    multi-process block.  Unusable values (missing, non-numeric, <= 0)
-    are simply absent, mirroring :func:`headline_of`'s tolerance.
+    multi-process block; ``ingest.docs_per_sec`` from the bulk-ingest
+    bench.  Unusable values (missing, non-numeric, <= 0) are simply
+    absent, mirroring :func:`headline_of`'s tolerance — a baseline
+    written before a block existed skips that gate with a message.
     """
     out: dict[str, float] = {}
     if not isinstance(snapshot, dict):
         return out
+    ingest = snapshot.get("ingest")
+    if isinstance(ingest, dict):
+        value = _positive(ingest.get("docs_per_sec"))
+        if value is not None:
+            out["ingest.docs_per_sec"] = value
     parallel = snapshot.get("parallel")
     if isinstance(parallel, dict):
         value = _positive(parallel.get("parallel_qps"))

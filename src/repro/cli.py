@@ -23,9 +23,10 @@ import sys
 from pathlib import Path
 from typing import Optional
 
-from repro.doc.parser import parse_document
+from repro.doc.parser import parse_document_bytes
 from repro.doc.schema import Schema
 from repro.doc.split import split_records
+from repro.doc.stream import iter_stream_records
 from repro.errors import (
     CorruptionError,
     ProtocolError,
@@ -42,6 +43,7 @@ from repro.sequence.transform import SequenceEncoder
 from repro.storage.cache import BufferPool
 from repro.storage.docstore import FileDocStore
 from repro.storage.pager import FilePager
+from repro.storage.wal import WalPager
 
 _SCHEMA_FILE = "schema.dtd"
 
@@ -166,6 +168,50 @@ def _build_parser() -> argparse.ArgumentParser:
         "routed across N full index directories DBDIR/shard-K",
     )
     p_index.set_defaults(handler=_cmd_index)
+
+    p_ingest = sub.add_parser(
+        "ingest",
+        help="streaming bulk ingest: split 100MB+ corpora into records "
+        "without materialising them, committed in durable batches",
+    )
+    p_ingest.add_argument("dbdir", type=Path)
+    p_ingest.add_argument("files", type=Path, nargs="+")
+    p_ingest.add_argument("--schema", type=Path, help="DTD fixing sibling order")
+    p_ingest.add_argument(
+        "--split",
+        help="comma-separated record labels: each instance becomes one "
+        "indexed record (streamed; without it the whole file is one "
+        "document, which defeats the point for large corpora)",
+    )
+    p_ingest.add_argument(
+        "--no-spine",
+        action="store_true",
+        help="drop the ancestor spine above each split record instead of "
+        "keeping it (mirrors split_records keep_spine=False)",
+    )
+    p_ingest.add_argument(
+        "--batch-size",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="records per write-lock section and durable commit "
+        "(default 1000)",
+    )
+    p_ingest.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="ingest into a sharded database (create it N-way if new)",
+    )
+    p_ingest.add_argument(
+        "--durability",
+        choices=("batch", "none"),
+        default="batch",
+        help="'batch' (default): one WAL commit + fsync per batch, a "
+        "crash loses at most the open batch; 'none': no per-batch "
+        "commit, fastest, one flush at the end",
+    )
+    p_ingest.set_defaults(handler=_cmd_ingest)
 
     p_query = sub.add_parser("query", help="run a structural query")
     p_query.add_argument("dbdir", type=Path)
@@ -372,17 +418,30 @@ def load_schema(dbdir: Path) -> Optional[Schema]:
     return None
 
 
-def open_index(dbdir: Path, schema_path: Optional[Path] = None) -> VistIndex:
+def open_index(
+    dbdir: Path, schema_path: Optional[Path] = None, *, wal: bool = False
+) -> VistIndex:
     dbdir = Path(dbdir)
     dbdir.mkdir(parents=True, exist_ok=True)
     if schema_path is not None:
         (dbdir / _SCHEMA_FILE).write_text(schema_path.read_text())
+    page_file = dbdir / "vist.db"
+    # `repro ingest` opens through the WAL so each batch commit is a
+    # crash-safe journal transaction.  A leftover journal means the last
+    # writer used the WAL and may have died mid-commit: reopening
+    # through WalPager replays a committed journal and discards a torn
+    # one, so WAL-built databases always recover, whichever command
+    # touches them next.
+    if wal or Path(str(page_file) + ".wal").exists():
+        base = WalPager(str(page_file))
+    else:
+        base = FilePager(page_file)
     return VistIndex(
         SequenceEncoder(schema=load_schema(dbdir)),
         docstore=FileDocStore(dbdir / "docs.dat"),
         # write-back LRU pool in front of the page file: repeated index
         # traversals in one invocation hit memory, not disk
-        pager=BufferPool(FilePager(dbdir / "vist.db"), capacity=512),
+        pager=BufferPool(base, capacity=512),
         source_store=FileDocStore(dbdir / "sources.dat"),
     )
 
@@ -409,7 +468,8 @@ def _cmd_index(args: argparse.Namespace) -> int:
     indexed = 0
     try:
         for path in args.files:
-            document = parse_document(path.read_text(), name=str(path))
+            # bytes + prolog-declared encoding, not the locale default
+            document = parse_document_bytes(path.read_bytes(), name=str(path))
             if split_labels:
                 for record in split_records(document.root, split_labels):
                     index.add(record)
@@ -430,7 +490,7 @@ def _index_sharded(args: argparse.Namespace, split_labels) -> int:
     indexed = 0
     with ShardRouter(args.dbdir, args.shards, schema_path=args.schema) as router:
         for path in args.files:
-            document = parse_document(path.read_text(), name=str(path))
+            document = parse_document_bytes(path.read_bytes(), name=str(path))
             if split_labels:
                 for record in split_records(document.root, split_labels):
                     router.add(record)
@@ -442,6 +502,66 @@ def _index_sharded(args: argparse.Namespace, split_labels) -> int:
     print(
         f"indexed {indexed} record(s) into {args.dbdir} "
         f"({router.nshards} shard(s), routed {counts})"
+    )
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """``repro ingest``: stream records out of big corpora, commit in batches.
+
+    Unlike ``repro index`` (which materialises each file), the files are
+    parsed incrementally and each record subtree is indexed and released
+    as its end tag closes, so peak memory stays flat in the corpus size.
+    The index is opened through the WAL; every ``--batch-size`` records
+    cost one journal commit and one fsync.
+    """
+    import time
+
+    from repro.shard import is_sharded
+
+    split_labels = (
+        [label.strip() for label in args.split.split(",") if label.strip()]
+        if args.split
+        else None
+    )
+    keep_spine = not args.no_spine
+    total_bytes = sum(path.stat().st_size for path in args.files)
+
+    def records():
+        for path in args.files:
+            yield from iter_stream_records(
+                path, split_labels, keep_spine=keep_spine
+            )
+
+    start = time.perf_counter()
+    if args.shards is not None or is_sharded(args.dbdir):
+        from repro.shard import ShardRouter
+
+        with ShardRouter(
+            args.dbdir, args.shards, schema_path=args.schema, wal=True
+        ) as router:
+            ids = router.add_batch(
+                records(), batch_size=args.batch_size, durability=args.durability
+            )
+            layout = (
+                f"{router.nshards} shard(s), routed {router.map.shard_counts()}"
+            )
+    else:
+        index = open_index(args.dbdir, args.schema, wal=True)
+        try:
+            ids = index.add_batch(
+                records(), batch_size=args.batch_size, durability=args.durability
+            )
+        finally:
+            _close_index(index)
+        layout = "1 directory"
+    elapsed = time.perf_counter() - start
+    docs_per_sec = len(ids) / elapsed if elapsed > 0 else float("inf")
+    mb_per_sec = total_bytes / 1e6 / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"ingested {len(ids)} record(s) into {args.dbdir} ({layout}) in "
+        f"{elapsed:.2f}s ({docs_per_sec:.0f} docs/s, {mb_per_sec:.1f} MB/s, "
+        f"durability={args.durability}, batch={args.batch_size})"
     )
     return 0
 

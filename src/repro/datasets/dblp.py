@@ -19,11 +19,21 @@ from repro.doc.model import XmlNode
 from repro.doc.schema import ChildSpec, Occurs, Schema
 from repro.errors import DatasetError
 
-__all__ = ["DblpConfig", "DblpGenerator", "dblp_schema", "MAIER_KEY"]
+__all__ = [
+    "DblpConfig",
+    "DblpGenerator",
+    "dblp_schema",
+    "write_corpus",
+    "MAIER_KEY",
+    "RECORD_LABELS",
+]
 
 MAIER_KEY = "books/bc/MaierW88"
 
 _RECORD_TYPES = ["article", "inproceedings", "book", "incollection", "phdthesis"]
+# record roots of a serialised corpus — pass to `repro ingest --split`
+# (or iter_stream_records) to get one indexed record per publication
+RECORD_LABELS = tuple(_RECORD_TYPES)
 _RECORD_WEIGHTS = [40, 35, 10, 10, 5]
 
 _FIRST_NAMES = [
@@ -84,6 +94,11 @@ def dblp_schema() -> Schema:
     ]:
         schema.element(leaf, has_text=True, value_cardinality=cardinality)
     return schema
+
+
+def write_corpus(path, count: int, config: Optional["DblpConfig"] = None) -> int:
+    """Module-level convenience for :meth:`DblpGenerator.write_corpus`."""
+    return DblpGenerator(config).write_corpus(path, count)
 
 
 @dataclass(frozen=True)
@@ -155,6 +170,26 @@ class DblpGenerator:
         rng = self._rng
         words = rng.choices(_TITLE_WORDS, weights=self._title_weights, k=rng.randint(3, 7))
         return " ".join(words)
+
+    def write_corpus(self, path, count: int) -> int:
+        """Stream a ``count``-record DBLP corpus to ``path`` as one XML file.
+
+        Records are rendered and written one at a time — the corpus never
+        exists in memory, so paper-size files (100MB+) cost O(record).
+        The result round-trips through ``repro ingest PATH --split
+        article,inproceedings,... --no-spine`` back into exactly the
+        same records (``--no-spine`` drops the ``<dblp>`` wrapper).
+        """
+        written = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('<?xml version="1.0" encoding="UTF-8"?>\n')
+            fh.write("<dblp>\n")
+            for record in self.records(count):
+                fh.write(record.to_xml())
+                fh.write("\n")
+                written += 1
+            fh.write("</dblp>\n")
+        return written
 
     def _maier_book(self) -> XmlNode:
         node = XmlNode("book", attributes={"key": MAIER_KEY})

@@ -29,9 +29,20 @@ from repro.doc.model import XmlNode
 from repro.doc.schema import ChildSpec, Occurs, Schema
 from repro.errors import DatasetError
 
-__all__ = ["XmarkConfig", "XmarkGenerator", "xmark_schema", "TARGET_DATE"]
+__all__ = [
+    "XmarkConfig",
+    "XmarkGenerator",
+    "xmark_schema",
+    "write_corpus",
+    "TARGET_DATE",
+    "RECORD_LABELS",
+]
 
 TARGET_DATE = "12/15/1999"
+
+# every substructure record is rooted at `site`; splitting a serialised
+# corpus on it recovers the records exactly (one <site> wrapper each)
+RECORD_LABELS = ("site",)
 
 _CONTINENTS = ["africa", "asia", "australia", "europe", "namerica", "samerica"]
 _COUNTRIES = ["US", "Germany", "Korea", "Japan", "France", "Brazil", "Canada"]
@@ -147,6 +158,16 @@ def xmark_schema() -> Schema:
     return schema
 
 
+def write_corpus(
+    path,
+    count: int,
+    config: Optional["XmarkConfig"] = None,
+    kind: Optional[str] = None,
+) -> int:
+    """Module-level convenience for :meth:`XmarkGenerator.write_corpus`."""
+    return XmarkGenerator(config).write_corpus(path, count, kind=kind)
+
+
 @dataclass(frozen=True)
 class XmarkConfig:
     """Mix and selectivity parameters (rates of the Table 3 targets)."""
@@ -180,6 +201,27 @@ class XmarkGenerator:
         for i in range(count):
             chosen = kind or self._rng.choices(self.KINDS, self.KIND_WEIGHTS, k=1)[0]
             yield self.record(chosen, i)
+
+    def write_corpus(self, path, count: int, kind: Optional[str] = None) -> int:
+        """Stream a ``count``-record XMark corpus to ``path``, one XML file.
+
+        One `<site>` element per substructure record under a `<corpus>`
+        wrapper, written record-by-record (O(record) memory at any
+        corpus size).  Ingest it back with ``repro ingest PATH --split
+        site --no-spine`` so the records root at ``site`` again and the
+        Table 3 ``/site//...`` queries bind exactly as over the
+        generator's records.
+        """
+        written = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('<?xml version="1.0" encoding="UTF-8"?>\n')
+            fh.write("<corpus>\n")
+            for record in self.records(count, kind=kind):
+                fh.write(record.to_xml())
+                fh.write("\n")
+                written += 1
+            fh.write("</corpus>\n")
+        return written
 
     def record(self, kind: str, index: int) -> XmlNode:
         if kind == "item":

@@ -26,12 +26,64 @@ from repro.errors import XmlParseError
 _NAME_RE = re.compile(r"(?:[:_]|[^\W\d])[\w.\-:]*")
 _ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
 
-__all__ = ["parse_document", "parse_fragment", "from_element_tree"]
+# the encoding pseudo-attribute of an XML declaration, matched over raw
+# bytes (the declaration itself is ASCII-compatible in every encoding we
+# can decode without external tables)
+_ENC_DECL_RE = re.compile(rb"""<\?xml[^>]*?encoding\s*=\s*["']([A-Za-z][A-Za-z0-9._\-]*)["']""")
+
+__all__ = [
+    "parse_document",
+    "parse_document_bytes",
+    "parse_fragment",
+    "from_element_tree",
+    "detect_xml_encoding",
+    "decode_xml_bytes",
+]
 
 
 def parse_document(text: str, name: Optional[str] = None) -> XmlDocument:
     """Parse a complete XML document (prologue allowed, one root element)."""
     return XmlDocument(root=parse_fragment(text), name=name)
+
+
+def detect_xml_encoding(data: bytes) -> str:
+    """The encoding of an XML byte stream, per its BOM or declaration.
+
+    Follows XML's appendix-F autodetection for the cases this repo can
+    decode without external codecs: a UTF-8 or UTF-16 BOM wins, then a
+    16-bit-looking ``<`` pattern, then the ``encoding="..."`` pseudo-
+    attribute of the declaration; the spec default of UTF-8 otherwise.
+    """
+    if data.startswith(b"\xef\xbb\xbf"):
+        return "utf-8-sig"
+    if data.startswith(b"\xff\xfe") or data.startswith(b"\xfe\xff"):
+        return "utf-16"
+    if data.startswith(b"<\x00"):
+        return "utf-16-le"
+    if data.startswith(b"\x00<"):
+        return "utf-16-be"
+    match = _ENC_DECL_RE.search(data[:256])
+    if match:
+        return match.group(1).decode("ascii")
+    return "utf-8"
+
+
+def decode_xml_bytes(data: bytes) -> str:
+    """Decode XML bytes honouring the declared encoding (never the locale)."""
+    encoding = detect_xml_encoding(data)
+    try:
+        return data.decode(encoding)
+    except LookupError as exc:
+        raise XmlParseError(f"unsupported XML encoding {encoding!r}") from exc
+    except UnicodeDecodeError as exc:
+        raise XmlParseError(
+            f"undecodable XML input (declared encoding {encoding!r}): {exc}"
+        ) from exc
+
+
+def parse_document_bytes(data: bytes, name: Optional[str] = None) -> XmlDocument:
+    """Parse a document from raw bytes, honouring its declared encoding."""
+    return parse_document(decode_xml_bytes(data), name=name)
 
 
 def parse_fragment(text: str) -> XmlNode:

@@ -40,19 +40,65 @@ Symbol = Union[str, int]
 # never collide with a data key.
 ROOT_KEY = encode_tuple(("", 0, "root"))
 META_MAX_DEPTH_KEY = encode_tuple(("", 0, "max-depth"))
+# committed byte lengths of the doc/source stores, stamped at every
+# durable commit so reopening can truncate uncommitted trailing appends
+# (see VistIndex._record_store_bounds / _recover_store_bounds)
+META_STORE_BOUNDS_KEY = encode_tuple(("", 0, "store-bounds"))
 
 __all__ = [
     "ROOT_KEY",
     "META_MAX_DEPTH_KEY",
+    "META_STORE_BOUNDS_KEY",
     "node_key",
+    "node_key_len",
     "decode_node_key",
     "CombinedTreeHost",
 ]
 
 
+# node_key is the hottest function of the insert path (one call per
+# sequence item for validation alone, several more per descent step).
+# encode_tuple parts are self-delimiting, so the key factors into a
+# (symbol, prefix) stem and an ``n`` suffix — both highly repetitive in
+# any real corpus (documents share element paths; labels are reused in
+# every range bound).  Capped memos turn the common call into two dict
+# hits and a concat.
+_STEM_CACHE: dict[tuple, bytes] = {}
+_N_CACHE: dict[int, bytes] = {}
+_KEY_CACHE_CAP = 1 << 16
+
+
 def node_key(symbol: Symbol, prefix: Prefix, n: int) -> bytes:
     """Combined-tree key of the node for ``(symbol, prefix)`` labelled ``n``."""
-    return encode_tuple((symbol, len(prefix), *prefix, n))
+    stem = _STEM_CACHE.get((symbol, prefix))
+    if stem is None:
+        stem = encode_tuple((symbol, len(prefix), *prefix))
+        if len(_STEM_CACHE) < _KEY_CACHE_CAP:
+            _STEM_CACHE[symbol, prefix] = stem
+    suffix = _N_CACHE.get(n)
+    if suffix is None:
+        suffix = encode_tuple((n,))
+        if len(_N_CACHE) < _KEY_CACHE_CAP:
+            _N_CACHE[n] = suffix
+    return stem + suffix
+
+
+def node_key_len(symbol: Symbol, prefix: Prefix, n: int) -> int:
+    """``len(node_key(...))`` without materialising the key.
+
+    Key-size validation runs over every item of every sequence; the
+    lengths come straight from the memoised parts."""
+    stem = _STEM_CACHE.get((symbol, prefix))
+    if stem is None:
+        stem = encode_tuple((symbol, len(prefix), *prefix))
+        if len(_STEM_CACHE) < _KEY_CACHE_CAP:
+            _STEM_CACHE[symbol, prefix] = stem
+    suffix = _N_CACHE.get(n)
+    if suffix is None:
+        suffix = encode_tuple((n,))
+        if len(_N_CACHE) < _KEY_CACHE_CAP:
+            _N_CACHE[n] = suffix
+    return len(stem) + len(suffix)
 
 
 def decode_node_key(key: bytes) -> tuple[Symbol, Prefix, int]:

@@ -31,7 +31,14 @@ from repro.doc.stats import CorpusStats
 from repro.index.base import XmlIndexBase
 from repro.index.matching import SequenceMatcher
 from repro.index.postings import PostingCache
-from repro.index.store import ROOT_KEY, CombinedTreeHost, decode_node_key, node_key
+from repro.index.store import (
+    META_STORE_BOUNDS_KEY,
+    ROOT_KEY,
+    CombinedTreeHost,
+    decode_node_key,
+    node_key,
+    node_key_len,
+)
 from repro.labeling.clues import FollowSets
 from repro.labeling.dynamic import (
     DEFAULT_MAX,
@@ -47,7 +54,12 @@ from repro.sequence.transform import SequenceEncoder
 from repro.storage.bptree import BPlusTree, TreeStats
 from repro.storage.docstore import DocStore
 from repro.storage.pager import MemoryPager, Pager
-from repro.storage.serialization import decode_uint, encode_uint
+from repro.storage.serialization import (
+    decode_tuple,
+    decode_uint,
+    encode_tuple,
+    encode_uint,
+)
 
 __all__ = ["VistIndex"]
 
@@ -101,12 +113,39 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
         # touching the persistent structures (it is not part of the index
         # size and repopulates lazily after reopening from disk).
         self._child_cache: dict[tuple[int, Item], int] = {}
+        # (doc_id, sequence, labels, created) of the most recent insert,
+        # kept so a failed source append can roll it back atomically
+        self._last_insert: Optional[tuple] = None
+        # inside an add_batch chunk, DocId attachments buffer here and
+        # land in one sorted pass at _end_batch; None outside batches
+        self._docid_buffer: Optional[list[tuple[int, int]]] = None
+        # batch write-dedup overlay for the combined tree: n -> (key,
+        # live NodeState).  Hot parents (root, record-type nodes) have
+        # their cursors advanced by nearly every insert; writing them
+        # through per document costs a B+Tree delete+insert each time.
+        # During a chunk the latest state lives here, every in-chunk read
+        # goes through it (so cursor updates accumulate on one object),
+        # and _end_batch writes each node once, in key order.
+        self._node_overlay: Optional[dict[int, tuple[bytes, NodeState]]] = None
+        # (parent_n, item) -> n for nodes *created* during the chunk:
+        # the unevictable companion of _child_cache.  Overlay nodes are
+        # invisible to tree.range until _end_batch, so the fallback scan
+        # of _find_child must have a map it can trust for them.
+        self._overlay_children: Optional[dict[tuple[int, Item], int]] = None
+        # labels created during the chunk: their keys are not on the
+        # tree yet, so _end_batch can insert them directly instead of
+        # paying put()'s delete-then-insert
+        self._overlay_created: Optional[set[int]] = None
         root_value = self.tree.get(ROOT_KEY)
         if root_value is None:
             self._root_state = NodeState(scope=Scope(0, max_label - 1), parent_n=0)
             self.tree.put(ROOT_KEY, self._root_state.to_bytes())
         else:
             self._root_state = NodeState.from_bytes(0, root_value)
+        # a crash between a docstore append and the tree commit leaves
+        # trailing records past the committed state; drop them now so the
+        # index reopens exactly on its last durable commit boundary
+        self.recovered_trailing_docs = self._recover_store_bounds()
         self._register_host_metrics()
         self.metrics.register("underflows", lambda: self.underflow_count)
 
@@ -128,6 +167,9 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
         path_items: list[Optional[Item]] = [None]
         path_states: list[NodeState] = [self._root_state]
         path_keys: list[bytes] = [ROOT_KEY]
+        # nodes this insert creates, as (key, item, parent_n) — exactly
+        # what _rollback_insert must delete when refcounting is off
+        created: list[tuple[bytes, Item, int]] = []
         labels: Optional[list[int]] = None
         for i, item in enumerate(sequence):
             parent_state = path_states[-1]
@@ -144,13 +186,18 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
                 )
                 if scope is None:
                     labels = self._insert_borrowed(
-                        i, sequence, path_items, path_states, path_keys, pending
+                        i, sequence, path_items, path_states, path_keys,
+                        pending, created,
                     )
                     break
                 child = NodeState(scope, parent_n=parent_state.scope.n)
                 key = node_key(item.symbol, item.prefix, scope.n)
                 pending[scope.n] = (key, child)
                 self._child_cache[parent_state.scope.n, item] = scope.n
+                if self._overlay_children is not None:
+                    self._overlay_children[parent_state.scope.n, item] = scope.n
+                    self._overlay_created.add(scope.n)
+                created.append((key, item, parent_state.scope.n))
             else:
                 key = node_key(item.symbol, item.prefix, child.scope.n)
             if self.track_refs:
@@ -161,8 +208,11 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
             path_keys.append(key)
         if labels is None:
             labels = [state.scope.n for state in path_states[1:]]
-        for key, state in pending.values():
-            self.tree.put(key, state.to_bytes())
+        if self._node_overlay is not None:
+            self._node_overlay.update(pending)
+        else:
+            for key, state in pending.values():
+                self.tree.put(key, state.to_bytes())
         if self.postings is not None:
             # Conservative coherence: every item of the sequence may have
             # introduced a new node into its D-Ancestor key group (scopes
@@ -173,6 +223,7 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
         doc_id = self.docstore.add(self._make_payload(sequence, labels))
         self._attach_doc(labels[-1], doc_id)
         self._bump_max_prefix_len(max(item.depth for item in sequence))
+        self._last_insert = (doc_id, sequence, labels, created)
         return doc_id
 
     def _validate_key_sizes(self, sequence: StructureEncodedSequence) -> None:
@@ -186,7 +237,7 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
         label_width = len(encode_uint(self._root_state.scope.end))
         value_allowance = 40 + 9 * label_width
         for item in sequence:
-            key_size = len(node_key(item.symbol, item.prefix, self._root_state.scope.end))
+            key_size = node_key_len(item.symbol, item.prefix, self._root_state.scope.end)
             if key_size + value_allowance > budget:
                 raise KeyTooLargeError(
                     f"item at depth {item.depth} needs a {key_size}-byte key plus "
@@ -207,22 +258,47 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
         itself.  Private (borrow-labelled) nodes are never shared.
         """
         scope = parent.scope
-        cached_n = self._child_cache.get((scope.n, item))
+        overlay = self._node_overlay
+        cached_n = None
+        if self._overlay_children is not None:
+            # authoritative for nodes created this chunk (and rollback
+            # removes its entries, so it is never stale mid-chunk)
+            cached_n = self._overlay_children.get((scope.n, item))
+        if cached_n is None:
+            cached_n = self._child_cache.get((scope.n, item))
         if cached_n is not None:
             entry = pending.get(cached_n)
             if entry is not None:
                 return entry[1]
-            value = self.tree.get(node_key(item.symbol, item.prefix, cached_n))
-            if value is not None:
-                state = NodeState.from_bytes(cached_n, value)
-                if state.parent_n == scope.n and not state.private:
-                    return state
-            del self._child_cache[scope.n, item]  # stale (node was reclaimed)
+            state = None
+            if overlay is not None:
+                oentry = overlay.get(cached_n)
+                if oentry is not None:
+                    state = oentry[1]
+            if state is None:
+                value = self.tree.get(node_key(item.symbol, item.prefix, cached_n))
+                if value is not None:
+                    state = NodeState.from_bytes(cached_n, value)
+            if state is not None and state.parent_n == scope.n and not state.private:
+                return state
+            # stale (node was reclaimed)
+            self._child_cache.pop((scope.n, item), None)
+            if self._overlay_children is not None:
+                self._overlay_children.pop((scope.n, item), None)
+        if self._overlay_created is not None and scope.n in self._overlay_created:
+            # the parent itself was created this chunk, so it cannot have
+            # on-tree children; the in-chunk ones were all resolvable
+            # through _overlay_children above — skip the range scan
+            return None
         lo = node_key(item.symbol, item.prefix, scope.n + 1)
         hi = node_key(item.symbol, item.prefix, scope.end)
         for key, value in self.tree.range(lo, hi, include_hi=True):
             n = decode_node_key(key)[2]
             entry = pending.get(n)
+            if entry is None and overlay is not None:
+                # an on-tree key can be stale during a chunk: the live
+                # state (advanced cursors) is the overlay's object
+                entry = overlay.get(n)
             state = entry[1] if entry is not None else NodeState.from_bytes(n, value)
             if state.parent_n == scope.n and not state.private:
                 self._child_cache[scope.n, item] = state.scope.n
@@ -237,6 +313,7 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
         path_states: list[NodeState],
         path_keys: list[bytes],
         pending: dict[int, tuple[bytes, NodeState]],
+        created: list[tuple[bytes, Item, int]],
     ) -> list[int]:
         """Scope underflow repair (Section 3.4.1).
 
@@ -280,7 +357,11 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
                 refs=1 if self.track_refs else 0,
                 private=True,
             )
-            pending[n] = (node_key(item.symbol, item.prefix, n), state)
+            key = node_key(item.symbol, item.prefix, n)
+            pending[n] = (key, state)
+            if self._overlay_created is not None:
+                self._overlay_created.add(n)
+            created.append((key, item, prev_n))
             labels.append(n)
             prev_n = n
         return labels
@@ -317,6 +398,151 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
                 self.tree.put(key, state.to_bytes())
         self.docstore.remove(doc_id)
         self._remove_source(doc_id)
+
+    def _rollback_insert(self, doc_id: int) -> None:
+        """Undo the most recent :meth:`add_sequence` (same write lock).
+
+        Reference counts unwind exactly like :meth:`_remove_locked`;
+        without refcounting, the nodes this insert created (tracked in
+        ``_last_insert``) are deleted directly.  Allocation cursors are
+        deliberately *not* rolled back — labels, once assigned, stay
+        fixed (Section 3.4), the same policy :meth:`remove` follows.
+        The docstore id is un-assigned, so the next add reuses it."""
+        last = self._last_insert
+        if last is None or last[0] != doc_id:
+            raise IndexStateError(
+                f"cannot roll back doc {doc_id}: it is not the latest insert"
+            )
+        self._last_insert = None
+        _, sequence, labels, created = last
+        removed = self._detach_doc(labels[-1], doc_id)
+        if removed == 0:
+            raise IndexStateError(f"document {doc_id} has no DocId entry")
+        overlay = self._node_overlay
+        if self.track_refs:
+            for item, n in zip(sequence, labels):
+                key = node_key(item.symbol, item.prefix, n)
+                state = None
+                if overlay is not None:
+                    entry = overlay.get(n)
+                    if entry is not None:
+                        state = entry[1]
+                if state is None:
+                    value = self.tree.get(key)
+                    if value is None:
+                        raise IndexStateError(
+                            f"missing index entry for doc {doc_id} at {n}"
+                        )
+                    state = NodeState.from_bytes(n, value)
+                state.refs -= 1
+                if state.refs <= 0:
+                    # refs hit zero only for nodes this insert created:
+                    # mid-chunk they live in the overlay, never on tree
+                    if overlay is not None:
+                        overlay.pop(n, None)
+                    if self._overlay_created is not None:
+                        self._overlay_created.discard(n)
+                    self.tree.delete(key)
+                    self._child_cache.pop((state.parent_n, item), None)
+                    if self._overlay_children is not None:
+                        self._overlay_children.pop((state.parent_n, item), None)
+                    self._invalidate_postings(item.symbol, item.prefix)
+                elif overlay is not None:
+                    overlay[n] = (key, state)
+                else:
+                    self.tree.put(key, state.to_bytes())
+        else:
+            for key, item, parent_n in created:
+                if overlay is not None:
+                    n = decode_node_key(key)[2]
+                    overlay.pop(n, None)
+                    if self._overlay_created is not None:
+                        self._overlay_created.discard(n)
+                self.tree.delete(key)
+                self._child_cache.pop((parent_n, item), None)
+                if self._overlay_children is not None:
+                    self._overlay_children.pop((parent_n, item), None)
+                self._invalidate_postings(item.symbol, item.prefix)
+        self.docstore.pop_last(doc_id)
+
+    # ------------------------------------------------------------------
+    # bulk-ingest hooks (XmlIndexBase.add_batch)
+
+    def _begin_batch(self) -> None:
+        self._docid_buffer = []
+        self._node_overlay = {}
+        self._overlay_children = {}
+        self._overlay_created = set()
+
+    def _end_batch(self) -> None:
+        """Drain the chunk's node-state and DocId buffers.
+
+        Node states land first, in key order, one put per node — a hot
+        parent touched by every document of the chunk costs one B+Tree
+        delete+insert instead of hundreds.  Then the ``(n, doc_id)``
+        pairs: sorting the integer pairs yields the encoded pairs in
+        ascending byte order (both encodings are order-preserving), so
+        an empty DocId tree takes the packed
+        :meth:`~repro.storage.bptree.BPlusTree.bulk_load` path and a
+        non-empty one gets ordered inserts — far fewer node splits than
+        the per-document random-order descents."""
+        overlay = self._node_overlay
+        created = self._overlay_created or ()
+        self._node_overlay = None
+        self._overlay_children = None
+        self._overlay_created = None
+        if overlay:
+            for n, (key, state) in sorted(overlay.items(), key=lambda e: e[1][0]):
+                if n in created:
+                    # never on the tree yet: skip put()'s delete pass
+                    self.tree.insert(key, state.to_bytes())
+                else:
+                    self.tree.put(key, state.to_bytes())
+        buffer = self._docid_buffer
+        self._docid_buffer = None
+        if not buffer:
+            return
+        buffer.sort()
+        pairs = [
+            (encode_tuple((n,)), encode_uint(doc_id)) for n, doc_id in buffer
+        ]
+        if self.docid_tree.is_empty():
+            self.docid_tree.bulk_load(pairs)
+        else:
+            for key, value in pairs:
+                self.docid_tree.insert(key, value, allow_exact_dup=True)
+
+    def _commit_batch(self) -> None:
+        """One durable commit per chunk: store bytes first, tree after.
+
+        The docstore/source files are flushed (with fsync) *before* the
+        pager commit so that, under the crash model, the store bounds
+        stamped inside :meth:`flush` always describe bytes that are
+        durable by the time the tree commit lands.  A crash anywhere in
+        between reopens on the previous commit; trailing complete store
+        records are truncated by :meth:`_recover_store_bounds`."""
+        for store in (self.docstore, self.source_store):
+            flush = getattr(store, "flush", None) if store is not None else None
+            if flush is not None:
+                flush(fsync=True)
+        self.flush()
+
+    # -- DocId tree helpers, batch-buffer aware ------------------------
+
+    def _attach_doc(self, n: int, doc_id: int) -> None:
+        if self._docid_buffer is not None:
+            self._docid_buffer.append((n, doc_id))
+            return
+        super()._attach_doc(n, doc_id)
+
+    def _detach_doc(self, n: int, doc_id: int) -> int:
+        if self._docid_buffer is not None:
+            try:
+                self._docid_buffer.remove((n, doc_id))
+                return 1
+            except ValueError:
+                pass  # attached before this chunk: fall through to the tree
+        return super()._detach_doc(n, doc_id)
 
     # ------------------------------------------------------------------
     # matching
@@ -365,11 +591,68 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
     # maintenance / measurements
 
     def flush(self) -> None:
-        """Persist both B+Trees (and through them the pager)."""
+        """Persist both B+Trees (and through them the pager).
+
+        The committed byte lengths of the doc/source stores are stamped
+        into the combined tree first, so they ride the same pager commit
+        — that one atomic step is what makes batch recovery land exactly
+        on a commit boundary (docs/INTERNALS.md section 14)."""
         with self.rwlock.write():
+            self._record_store_bounds()
             self.tree.flush()
             self.docid_tree.flush()
             self._pager.sync()
+
+    def _record_store_bounds(self) -> None:
+        """Stamp current store byte lengths under META_STORE_BOUNDS_KEY.
+
+        Encoded as ``(flag, size)`` per store (flag 0 = store absent or
+        without byte accounting) since the tuple codec has no negative
+        integers.  Skipped entirely when no store reports a size, and
+        skipped when unchanged so read-only sessions stay clean."""
+        bounds: list[int] = []
+        any_present = False
+        for store in (self.docstore, self.source_store):
+            size = getattr(store, "byte_size", None) if store is not None else None
+            if size is None:
+                bounds.extend((0, 0))
+            else:
+                bounds.extend((1, size))
+                any_present = True
+        if not any_present:
+            return
+        value = encode_tuple(tuple(bounds))
+        if self.tree.get(META_STORE_BOUNDS_KEY) != value:
+            self.tree.put(META_STORE_BOUNDS_KEY, value)
+
+    def _recover_store_bounds(self) -> int:
+        """Truncate store bytes past the last committed bounds.
+
+        Returns the number of trailing (fully written but uncommitted)
+        documents dropped.  Bounds *smaller* than recorded are left
+        alone: compaction legitimately shrinks the files without a
+        bounds re-stamp until the next flush."""
+        value = self.tree.get(META_STORE_BOUNDS_KEY)
+        if value is None:
+            return 0
+        parts = decode_tuple(value)
+        dropped = 0
+        for i, store in enumerate((self.docstore, self.source_store)):
+            if store is None or 2 * i + 1 >= len(parts):
+                continue
+            flag, size = parts[2 * i], parts[2 * i + 1]
+            if not flag:
+                continue
+            truncate_to = getattr(store, "truncate_to", None)
+            current = getattr(store, "byte_size", None)
+            if truncate_to is None or current is None:
+                continue
+            if current > size:
+                count = truncate_to(size)
+                if store is self.docstore:
+                    # source drops mirror the same documents: count once
+                    dropped += count
+        return dropped
 
     def close(self) -> None:
         with self.rwlock.write():

@@ -44,10 +44,10 @@ __all__ = ["ShardRouter", "reshard_db"]
 _SCHEMA_FILE = "schema.dtd"
 
 
-def _open_shard(path: Path):
+def _open_shard(path: Path, wal: bool = False):
     from repro.cli import open_index
 
-    return open_index(path)
+    return open_index(path, wal=wal)
 
 
 def _close_shard(index) -> None:
@@ -72,8 +72,10 @@ class ShardRouter:
         *,
         schema_path: Optional[Path] = None,
         hash_fn: Optional[HashFn] = None,
+        wal: bool = False,
     ) -> None:
         self.dbdir = Path(dbdir)
+        self._wal = wal
         if is_sharded(self.dbdir):
             manifest = read_manifest(self.dbdir)
             if nshards is not None and nshards != manifest["nshards"]:
@@ -105,7 +107,7 @@ class ShardRouter:
             path.mkdir(parents=True, exist_ok=True)
             if schema_text is not None and not (path / _SCHEMA_FILE).exists():
                 (path / _SCHEMA_FILE).write_text(schema_text)
-            self.shards.append(_open_shard(path))
+            self.shards.append(_open_shard(path, self._wal))
         # a crash may have left the manifest behind the shard stores;
         # replay the routing rule forward until the map explains them
         recovered = self.map.recover(
@@ -161,7 +163,125 @@ class ShardRouter:
         return g
 
     def add_all(self, documents: Iterable[Union[XmlDocument, XmlNode]]) -> list[int]:
-        return [self.add(doc) for doc in documents]
+        return self.add_batch(documents, durability="none")
+
+    def add_batch(
+        self,
+        documents: Iterable[Union[XmlDocument, XmlNode]],
+        *,
+        batch_size: int = 1000,
+        durability: str = "batch",
+    ) -> list[int]:
+        """Bulk-route documents: one shard-level batch per chunk and shard.
+
+        Each chunk of ``batch_size`` documents is planned against the
+        routing map (global id → shard) without advancing it, grouped by
+        shard, and handed to each shard's
+        :meth:`~repro.index.base.XmlIndexBase.add_batch` as one group.
+        The map advances and the manifest is rewritten only once the
+        whole chunk landed, so a process crash between chunks recovers
+        cleanly by forward replay.
+
+        If a chunk dies *between shards* (one shard landed its group,
+        another did not), the planned global ids that never landed are
+        burned as positional tombstones and the map advanced over the
+        whole plan — the only layout :class:`ShardMap.recover` can
+        explain.  The raised error names the burned ids; the documents
+        they stood for must be re-submitted (under fresh ids).
+        """
+        from itertools import islice
+
+        self._ensure_open()
+        if durability not in ("batch", "none"):
+            raise IndexStateError(
+                f"unknown durability mode {durability!r} (use 'batch' or 'none')"
+            )
+        if batch_size < 1:
+            raise IndexStateError(f"batch_size must be >= 1, got {batch_size}")
+        doc_ids: list[int] = []
+        it = iter(documents)
+        while True:
+            chunk = list(islice(it, batch_size))
+            if not chunk:
+                return doc_ids
+            doc_ids.extend(self._add_chunk(chunk, durability))
+
+    def _add_chunk(self, chunk: list, durability: str) -> list[int]:
+        from repro.shard.routing import shard_of
+
+        base = self.map.next_doc_id
+        plan = [
+            (base + i, shard_of(base + i, self.nshards, self.map.hash_fn))
+            for i in range(len(chunk))
+        ]
+        groups: dict[int, list] = {}
+        for (_, s), doc in zip(plan, chunk):
+            groups.setdefault(s, []).append(doc)
+        pre_bound = {s: self.shards[s].docstore.id_bound for s in groups}
+        try:
+            for s, docs in groups.items():  # insertion order = global order
+                start = len(self.map.globals_of(s))
+                locals_ = self.shards[s].add_batch(
+                    docs, batch_size=len(docs), durability=durability
+                )
+                if locals_ != list(range(start, start + len(docs))):
+                    raise IndexStateError(
+                        f"shard {s} assigned local ids starting at "
+                        f"{locals_[0] if locals_ else '?'} (expected {start}); "
+                        "the shard was mutated outside the router"
+                    )
+        except BaseException as exc:
+            burned = self._repair_partial_chunk(plan, pre_bound, durability)
+            raise IndexStateError(
+                f"bulk chunk failed after partially landing; {len(burned)} "
+                f"planned global id(s) tombstoned to keep the layout "
+                f"recoverable: {burned[:10]}{'...' if len(burned) > 10 else ''}"
+            ) from exc
+        for g, s in plan:
+            g2, s2, _ = self.map.append_next()
+            assert (g2, s2) == (g, s)
+        self._write_manifest()
+        return [g for g, _ in plan]
+
+    def _repair_partial_chunk(
+        self, plan: list[tuple[int, int]], pre_bound: dict[int, int], durability: str
+    ) -> list[int]:
+        """A chunk died between shards: burn the ids that never landed.
+
+        Per-shard landed counts (docstore id-bound deltas) consume the
+        plan in global order; every remaining planned id is written as a
+        positional tombstone (the :func:`reshard_db` idiom — an empty
+        record appended then removed, in both stores).  The map then
+        advances over the whole plan: any other layout would leave a
+        later-global-id document explainable only by skipping an earlier
+        one, which :meth:`ShardMap.recover` rightly refuses.
+        """
+        landed = {
+            s: max(0, self.shards[s].docstore.id_bound - pre_bound[s])
+            for s in pre_bound
+        }
+        burned: list[int] = []
+        for g, s in plan:
+            if landed.get(s, 0) > 0:
+                landed[s] -= 1
+            else:
+                shard = self.shards[s]
+                local = shard.docstore.add(b"")
+                shard.docstore.remove(local)
+                if shard.source_store is not None:
+                    sid = shard.source_store.add(b"")
+                    shard.source_store.remove(sid)
+                burned.append(g)
+            g2, s2, _ = self.map.append_next()
+            assert (g2, s2) == (g, s)
+        if durability == "batch":
+            for s in pre_bound:
+                try:
+                    self.shards[s].flush()
+                except Exception:
+                    pass  # the original failure is the one to surface
+        self._write_manifest()
+        return burned
 
     def remove(self, doc_id: int) -> None:
         """Tombstone a document in its shard; global ids are never reused."""

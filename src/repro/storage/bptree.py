@@ -180,31 +180,39 @@ class _Node:
 
 
 class _Leaf(_Node):
-    __slots__ = ("entries", "next")
+    __slots__ = ("entries", "next", "_used")
 
     def __init__(self, pid: int, entries: list[Pair], next_pid: int) -> None:
         self.pid = pid
         self.entries = entries
         self.next = next_pid
+        # cached used_bytes: insert/delete maintain it by delta (the hot
+        # paths), structural rewrites reset it to None for a lazy recount
+        self._used: Optional[int] = None
 
     def used_bytes(self) -> int:
-        return _LEAF_HEADER + sum(
-            _LEAF_CELL_OVERHEAD + len(k) + len(v) for k, v in self.entries
-        )
+        if self._used is None:
+            self._used = _LEAF_HEADER + sum(
+                _LEAF_CELL_OVERHEAD + len(k) + len(v) for k, v in self.entries
+            )
+        return self._used
 
 
 class _Internal(_Node):
-    __slots__ = ("seps", "children")
+    __slots__ = ("seps", "children", "_used")
 
     def __init__(self, pid: int, seps: list[Pair], children: list[int]) -> None:
         self.pid = pid
         self.seps = seps
         self.children = children
+        self._used: Optional[int] = None
 
     def used_bytes(self) -> int:
-        return _INTERNAL_HEADER + sum(
-            _INTERNAL_CELL_OVERHEAD + len(k) + len(v) for k, v in self.seps
-        )
+        if self._used is None:
+            self._used = _INTERNAL_HEADER + sum(
+                _INTERNAL_CELL_OVERHEAD + len(k) + len(v) for k, v in self.seps
+            )
+        return self._used
 
 
 class BPlusTree:
@@ -655,6 +663,8 @@ class BPlusTree:
             ):
                 raise DuplicateEntryError(f"entry already present: {pair!r}")
             node.entries.insert(idx, pair)
+            if node._used is not None:
+                node._used += _LEAF_CELL_OVERHEAD + len(pair[0]) + len(pair[1])
             self._touch(node)
             if node.used_bytes() > self._capacity:
                 return self._split_leaf(node)
@@ -667,6 +677,8 @@ class BPlusTree:
         sep, right_pid = split
         node.seps.insert(child_idx, sep)
         node.children.insert(child_idx + 1, right_pid)
+        if node._used is not None:
+            node._used += _INTERNAL_CELL_OVERHEAD + len(sep[0]) + len(sep[1])
         self._touch(node)
         if node.used_bytes() > self._capacity:
             return self._split_internal(node)
@@ -688,6 +700,7 @@ class BPlusTree:
         cut = self._split_point(sizes, _LEAF_HEADER)
         right_entries = node.entries[cut:]
         node.entries = node.entries[:cut]
+        node._used = None
         right = self._new_leaf(right_entries, node.next)
         node.next = right.pid
         self._touch(node)
@@ -702,6 +715,7 @@ class BPlusTree:
         right = self._new_internal(node.seps[cut + 1 :], node.children[cut + 1 :])
         node.seps = node.seps[:cut]
         node.children = node.children[: cut + 1]
+        node._used = None
         self._touch(node)
         return up, right.pid
 
@@ -831,6 +845,8 @@ class BPlusTree:
             if idx >= len(node.entries) or node.entries[idx] != pair:
                 return False
             del node.entries[idx]
+            if node._used is not None:
+                node._used -= _LEAF_CELL_OVERHEAD + len(pair[0]) + len(pair[1])
             self._touch(node)
             return True
         assert isinstance(node, _Internal)
@@ -888,9 +904,12 @@ class BPlusTree:
                 if child.used_bytes() + cost > self._capacity:
                     break
                 child.entries.insert(0, left.entries.pop())
+                left._used = None
+                child._used = None
                 moved = True
             if moved:
                 parent.seps[idx - 1] = child.entries[0]
+                parent._used = None
         elif isinstance(left, _Internal) and isinstance(child, _Internal):
             while (
                 len(left.children) > 2
@@ -904,6 +923,9 @@ class BPlusTree:
                 child.seps.insert(0, sep)
                 child.children.insert(0, left.children.pop())
                 parent.seps[idx - 1] = left.seps.pop()
+                left._used = None
+                child._used = None
+                parent._used = None
                 moved = True
         if moved:
             self._bump_structure_version()
@@ -929,9 +951,12 @@ class BPlusTree:
                 if child.used_bytes() + cost > self._capacity:
                     break
                 child.entries.append(right.entries.pop(0))
+                right._used = None
+                child._used = None
                 moved = True
             if moved:
                 parent.seps[idx] = right.entries[0]
+                parent._used = None
         elif isinstance(right, _Internal) and isinstance(child, _Internal):
             while (
                 len(right.children) > 2
@@ -945,6 +970,9 @@ class BPlusTree:
                 child.seps.append(sep)
                 child.children.append(right.children.pop(0))
                 parent.seps[idx] = right.seps.pop(0)
+                right._used = None
+                child._used = None
+                parent._used = None
                 moved = True
         if moved:
             self._bump_structure_version()
@@ -961,6 +989,7 @@ class BPlusTree:
                 return False
             left.entries.extend(right.entries)
             left.next = right.next
+            left._used = None
         elif isinstance(left, _Internal) and isinstance(right, _Internal):
             sep = parent.seps[sep_idx]
             combined = (
@@ -977,10 +1006,12 @@ class BPlusTree:
             left.seps.append(sep)
             left.seps.extend(right.seps)
             left.children.extend(right.children)
+            left._used = None
         else:  # pragma: no cover - siblings always share a level
             raise StorageError("attempted to merge nodes of different kinds")
         del parent.seps[sep_idx]
         del parent.children[sep_idx + 1]
+        parent._used = None
         self._bump_structure_version()
         self._free_node(right)
         self._touch(left)

@@ -75,6 +75,13 @@ class DocStore:
         """One past the highest id ever assigned (live or tombstoned)."""
         raise NotImplementedError
 
+    def pop_last(self, doc_id: int) -> None:
+        """Undo the most recent :meth:`add` — ``doc_id`` must be the last
+        id assigned and still live.  Unlike :meth:`remove` the id is
+        un-assigned (the next add reuses it), which is exactly what an
+        insert rollback needs to keep ids dense."""
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release resources.  Idempotent."""
 
@@ -121,6 +128,15 @@ class MemoryDocStore(DocStore):
     @property
     def id_bound(self) -> int:
         return self._next_id
+
+    def pop_last(self, doc_id: int) -> None:
+        if doc_id != self._next_id - 1 or doc_id not in self._docs:
+            raise StorageError(
+                f"pop_last: {doc_id} is not the last live document "
+                f"(next id {self._next_id})"
+            )
+        del self._docs[doc_id]
+        self._next_id -= 1
 
 
 def migrate_v1_docstore(path: str) -> None:
@@ -279,6 +295,60 @@ class FileDocStore(DocStore):
     @property
     def id_bound(self) -> int:
         return len(self._offsets)
+
+    @property
+    def byte_size(self) -> int:
+        """Current file length — the durable-commit watermark the index
+        records so crash recovery can truncate uncommitted appends."""
+        self._ensure_open()
+        with self._io_lock:
+            self._file.seek(0, os.SEEK_END)
+            return self._file.tell()
+
+    def pop_last(self, doc_id: int) -> None:
+        self._ensure_open()
+        with self._io_lock:
+            if doc_id != len(self._offsets) - 1 or self._offsets[doc_id] is None:
+                raise StorageError(
+                    f"pop_last: {doc_id} is not the last live document "
+                    f"(id bound {len(self._offsets)})"
+                )
+            offset = self._offsets.pop()
+            self._live -= 1
+            self._file.truncate(offset)
+
+    def truncate_to(self, byte_size: int) -> int:
+        """Drop every record past ``byte_size``; returns how many.
+
+        Crash recovery: appends after the last durable commit are cut
+        off wholesale and the offset table rebuilt from the survivors.
+        ``byte_size`` must fall on a record boundary of the current file
+        (it always does when it came from :attr:`byte_size`).
+        """
+        self._ensure_open()
+        with self._io_lock:
+            if byte_size < len(_DOC_MAGIC):
+                raise StorageError(
+                    f"{self.path}: cannot truncate below the magic "
+                    f"({byte_size} bytes)"
+                )
+            self._file.seek(0, os.SEEK_END)
+            if byte_size >= self._file.tell():
+                return 0
+            before = len(self._offsets)
+            self._file.truncate(byte_size)
+            self._offsets = []
+            self._live = 0
+            self._rebuild_offsets()
+            return before - len(self._offsets)
+
+    def flush(self, *, fsync: bool = False) -> None:
+        """Push buffered appends to the OS (and optionally to disk)."""
+        self._ensure_open()
+        with self._io_lock:
+            self._file.flush()
+            if fsync:
+                os.fsync(self._file.fileno())
 
     def compact(self) -> int:
         """Reclaim tombstoned payload space; returns bytes saved.

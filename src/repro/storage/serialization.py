@@ -60,12 +60,24 @@ __all__ = [
 ]
 
 
+# encode_uint is the innermost call of every key and node-state write —
+# millions of calls per bulk ingest — and small magnitudes (flags, refs,
+# chain lengths, shallow labels) dominate, so those come from a table.
+_UINT_CACHE_LIMIT = 1 << 14
+_UINT_CACHE = [
+    bytes([(i.bit_length() + 7) // 8]) + i.to_bytes((i.bit_length() + 7) // 8, "big")
+    if i
+    else b"\x00"
+    for i in range(_UINT_CACHE_LIMIT)
+]
+
+
 def encode_uint(value: int) -> bytes:
     """Encode a non-negative integer, preserving numeric order."""
+    if 0 <= value < _UINT_CACHE_LIMIT:
+        return _UINT_CACHE[value]
     if value < 0:
         raise CodecError(f"encode_uint requires a non-negative value, got {value}")
-    if value == 0:
-        return b"\x00"
     nbytes = (value.bit_length() + 7) // 8
     if nbytes > _MAX_UINT_BYTES:
         raise CodecError(f"integer too large to encode ({nbytes} bytes)")

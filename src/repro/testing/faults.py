@@ -41,7 +41,7 @@ from typing import Callable, Optional
 
 from repro.errors import TransientIOError
 from repro.storage.checksums import pack_trailer
-from repro.storage.pager import DEFAULT_PAGE_SIZE, FilePager, page_offset
+from repro.storage.pager import DEFAULT_PAGE_SIZE, FilePager, page_offset, slot_size
 
 from repro.storage.wal import WalPager
 
@@ -272,10 +272,22 @@ class FaultSweepReport:
         return len(self.outcomes)
 
 
+def _page_state(pager: WalPager, pid: int):
+    if pid in pager._freed:
+        # freed pages refuse read() but still carry their freelist chain
+        # pointer on disk; capture the raw slot so chain order (which
+        # drives future allocations) participates in state equality.
+        # Mutations that shrink a B+Tree — bulk_load replacing the old
+        # root, deletes merging nodes — legitimately leave freed pages.
+        pager._file.seek(page_offset(pid, pager.page_size))
+        return ("freed", pager._file.read(slot_size(pager.page_size)))
+    return pager.read(pid)
+
+
 def _state_of(pager: WalPager) -> tuple:
     """Structured content of a pager's durable state (overlay-free)."""
     assert not pager._overlay and not pager._header_dirty
-    pages = tuple(pager.read(pid) for pid in range(1, pager.page_count + 1))
+    pages = tuple(_page_state(pager, pid) for pid in range(1, pager.page_count + 1))
     return (
         pager.page_size,
         pager.page_count,

@@ -1,0 +1,331 @@
+"""Crash/fault coverage of the bulk-ingest and atomic-insert paths.
+
+Three layers of failure are proven here:
+
+* **source-store failure** mid-``add``: the sequence insert is rolled
+  back before the exception escapes (no orphan sequence, contiguous doc
+  ids, clean invariants) — the atomicity bugfix regression;
+* **process crash** at any durability primitive of a batch commit
+  (``sweep_commit_faults``): recovery always lands on a batch boundary,
+  trailing docstore records past the committed tree state are truncated
+  at reopen;
+* **partial sharded chunk**: the router burns positional tombstones for
+  planned ids that never landed, so ``ShardMap.recover`` can always
+  explain the directory on the next open.
+"""
+
+import pytest
+
+from repro.datasets.dblp import DblpConfig, DblpGenerator
+from repro.errors import IndexStateError, StorageError
+from repro.index.naive import NaiveIndex
+from repro.index.vist import VistIndex
+from repro.sequence.transform import SequenceEncoder
+from repro.shard.router import ShardRouter
+from repro.storage.cache import BufferPool
+from repro.storage.docstore import FileDocStore, MemoryDocStore
+from repro.storage.wal import WalPager
+from repro.testing.faults import sweep_commit_faults
+from repro.testing.generator import DocQueryGenerator
+from repro.testing.invariants import assert_invariants, check_index
+
+QUERIES = ["//book", "//article", "//author", "//phdthesis/year"]
+
+
+def _records(count, seed=4):
+    return list(DblpGenerator(DblpConfig(seed=seed)).records(count))
+
+
+class ExplodingStore(MemoryDocStore):
+    """MemoryDocStore that raises on the Nth successful add."""
+
+    def __init__(self, fail_at):
+        super().__init__()
+        self.fail_at = fail_at
+        self.adds = 0
+
+    def add(self, payload):
+        if self.adds == self.fail_at:
+            raise StorageError("simulated source-store failure")
+        self.adds += 1
+        return super().add(payload)
+
+
+def _answers(index):
+    return {q: sorted(index.query(q)) for q in QUERIES}
+
+
+class TestSourceFailureRollback:
+    @pytest.mark.parametrize("track_refs", [True, False])
+    def test_vist_add_rolls_back_sequence(self, track_refs):
+        records = _records(8)
+        source = ExplodingStore(fail_at=4)
+        index = VistIndex(
+            SequenceEncoder(schema=None),
+            docstore=MemoryDocStore(),
+            source_store=source,
+            track_refs=track_refs,
+        )
+        for record in records[:4]:
+            index.add(record)
+        with pytest.raises(StorageError):
+            index.add(records[4])
+        # the failed insert left nothing behind: count, stores, invariants
+        assert len(index) == 4
+        assert len(index.docstore) == len(index.source_store) == 4
+        for report in check_index(index):
+            assert report.ok, report.summary()
+        # ids keep being assigned contiguously after the failure
+        source.fail_at = None
+        assert index.add(records[4]) == 4
+        assert index.add(records[5]) == 5
+        oracle = VistIndex(
+            SequenceEncoder(schema=None),
+            docstore=MemoryDocStore(),
+            source_store=MemoryDocStore(),
+            track_refs=track_refs,
+        )
+        oracle.add_all(records[:6])
+        assert _answers(index) == _answers(oracle)
+
+    def test_vist_rollback_preserves_shared_nodes(self):
+        # structurally-overlapping documents: the rollback must only
+        # unwind this insert's refcounts, never a neighbour's nodes
+        documents = DocQueryGenerator(13).corpus(8, 10)
+        source = ExplodingStore(fail_at=5)
+        index = VistIndex(
+            SequenceEncoder(schema=None),
+            docstore=MemoryDocStore(),
+            source_store=source,
+        )
+        for doc in documents[:5]:
+            index.add(doc)
+        with pytest.raises(StorageError):
+            index.add(documents[5])
+        assert len(index) == 5
+        assert_invariants(index)
+        source.fail_at = None
+        for doc in documents[5:]:
+            index.add(doc)
+        assert_invariants(index)
+
+    def test_naive_add_rolls_back_trie(self):
+        records = _records(5)
+        source = ExplodingStore(fail_at=2)
+        index = NaiveIndex(
+            SequenceEncoder(schema=None),
+            docstore=MemoryDocStore(),
+            source_store=source,
+        )
+        index.add(records[0])
+        index.add(records[1])
+        with pytest.raises(StorageError):
+            index.add(records[2])
+        assert len(index) == 2
+        source.fail_at = None
+        assert index.add(records[2]) == 2
+        oracle = NaiveIndex(SequenceEncoder(schema=None))
+        oracle.add_all(records[:3])
+        assert sorted(index.query("//book")) == sorted(oracle.query("//book"))
+
+    def test_add_batch_mid_chunk_failure(self):
+        records = _records(10)
+        source = ExplodingStore(fail_at=6)
+        index = VistIndex(
+            SequenceEncoder(schema=None),
+            docstore=MemoryDocStore(),
+            source_store=source,
+        )
+        with pytest.raises(StorageError):
+            index.add_batch(records, batch_size=4)
+        # chunk 1 (docs 0-3) landed, chunk 2 failed at its third doc:
+        # docs 4-5 stay, doc 6 is rolled back
+        assert len(index) == 6
+        for report in check_index(index):
+            assert report.ok, report.summary()
+        source.fail_at = None
+        assert index.add_batch(records[6:], batch_size=4) == [6, 7, 8, 9]
+        oracle = VistIndex(
+            SequenceEncoder(schema=None),
+            docstore=MemoryDocStore(),
+            source_store=MemoryDocStore(),
+        )
+        oracle.add_all(records)
+        assert _answers(index) == _answers(oracle)
+
+
+class TestTrailingDocTruncation:
+    def _open(self, tmp_path):
+        return VistIndex(
+            SequenceEncoder(schema=None),
+            docstore=FileDocStore(tmp_path / "docs.dat"),
+            pager=BufferPool(WalPager(str(tmp_path / "vist.db")), capacity=64),
+            source_store=FileDocStore(tmp_path / "sources.dat"),
+        )
+
+    def _close(self, index):
+        index.close()
+        index.docstore.close()
+        index.source_store.close()
+
+    def test_uncommitted_trailing_docs_are_dropped(self, tmp_path):
+        records = _records(12)
+        index = self._open(tmp_path)
+        index.add_batch(records[:8], batch_size=4)  # durable: 2 commits
+        committed = _answers(index)
+        # crash simulation: records appended to the stores *after* the
+        # last commit — complete on disk, but the tree never heard of
+        # the 3rd one (docstore.add bypasses the index on purpose)
+        for record in records[8:10]:
+            index.add(record)
+        index.docstore.add(b"torn-orphan-payload")
+        index.docstore.flush()
+        index.source_store.flush()
+        # skip index.flush(): the tree state on disk is the 8-doc commit
+        index.docstore.close()
+        index.source_store.close()
+        index._pager.base.close()
+
+        reopened = self._open(tmp_path)
+        try:
+            assert reopened.recovered_trailing_docs == 3
+            assert len(reopened) == 8
+            assert _answers(reopened) == committed
+            assert_invariants(reopened)
+            # and ingest continues cleanly on the recovered boundary
+            assert reopened.add_batch(records[8:], batch_size=4) == [8, 9, 10, 11]
+            assert_invariants(reopened)
+        finally:
+            self._close(reopened)
+
+
+class TestBatchCommitSweep:
+    """Kill a batch commit at every WAL primitive; recovery must land on
+    a batch boundary with clean invariants and truncated stores."""
+
+    batch1 = _records(5, seed=21)
+    batch2 = _records(4, seed=22)
+
+    def _index(self, pager, tmp_path):
+        return VistIndex(
+            SequenceEncoder(schema=None),
+            docstore=FileDocStore(tmp_path / "docs.dat"),
+            pager=pager,
+            source_store=FileDocStore(tmp_path / "sources.dat"),
+            posting_cache_size=0,
+        )
+
+    def _stage(self, index):
+        """Everything _commit_batch does except the pager commit itself
+        (the sweep harness owns the commit under test)."""
+        index.docstore.flush(fsync=True)
+        index.source_store.flush(fsync=True)
+        index._record_store_bounds()
+        index.tree.flush()
+        index.docid_tree.flush()
+        index.docstore.close()
+        index.source_store.close()
+
+    def test_batch_boundary_sweep(self, tmp_path):
+        store_files = [tmp_path / "docs.dat", tmp_path / "sources.dat"]
+        store_snapshot = {}
+
+        def setup(pager):
+            index = self._index(pager, tmp_path)
+            index.add_batch(self.batch1, batch_size=5, durability="none")
+            self._stage(index)
+            for path in store_files:
+                store_snapshot[path] = path.read_bytes()
+
+        def mutate(pager):
+            # the sweep restores the page file between faults; the
+            # docstores are ours to restore
+            for path in store_files:
+                path.write_bytes(store_snapshot[path])
+            index = self._index(pager, tmp_path)
+            index.add_batch(self.batch2, batch_size=4, durability="none")
+            self._stage(index)
+
+        def check(recovered_pager, phase):
+            index = self._index(recovered_pager, tmp_path)
+            try:
+                expected = len(self.batch1) + (
+                    len(self.batch2) if phase == "post" else 0
+                )
+                if phase == "pre":
+                    # the batch-2 appends are complete on disk but
+                    # uncommitted: reopen truncates them
+                    assert index.recovered_trailing_docs == len(self.batch2)
+                assert len(index) == expected
+                for report in check_index(index):
+                    assert report.ok, f"{phase}: {report.summary()}"
+                assert len(index.query("//author")) == expected
+            finally:
+                index.docstore.close()
+                index.source_store.close()
+
+        report = sweep_commit_faults(
+            tmp_path / "vist.db",
+            setup,
+            mutate,
+            page_size=2048,
+            check=check,
+        )
+        assert report.total_ops == report.expected_ops
+        assert report.entries >= 2
+
+
+class TestShardedChunkRepair:
+    def test_partial_chunk_burns_tombstones_and_recovers(self, tmp_path):
+        records = _records(20, seed=31)
+        router = ShardRouter(tmp_path / "db", 2, wal=True)
+        router.add_batch(records[:8], batch_size=8)
+        assert router.map.next_doc_id == 8
+
+        # make one shard refuse its group: the chunk dies between shards
+        victim = router.shards[1]
+        original = victim.add_batch
+
+        def boom(*args, **kwargs):
+            raise StorageError("simulated shard failure")
+
+        victim.add_batch = boom
+        with pytest.raises(IndexStateError) as err:
+            router.add_batch(records[8:16], batch_size=8)
+        assert "tombstoned" in str(err.value)
+        victim.add_batch = original
+
+        # the map advanced over the whole planned chunk regardless
+        assert router.map.next_doc_id == 16
+        survivors = set(router.doc_ids())
+        assert set(range(8)) <= survivors
+        # ingest continues under fresh ids
+        new_ids = router.add_batch(records[16:], batch_size=8)
+        assert new_ids == list(range(16, 20))
+        answers = router.query("//author")
+        router.close()
+
+        # the directory must reopen without IndexStateError — the exact
+        # failure ShardMap.recover raises on unexplainable layouts
+        reopened = ShardRouter(tmp_path / "db", wal=True)
+        try:
+            assert reopened.map.next_doc_id == 20
+            assert set(reopened.doc_ids()) == survivors | set(new_ids)
+            assert reopened.query("//author") == answers
+            for shard in reopened.shards:
+                assert_invariants(shard)
+        finally:
+            reopened.close()
+
+    def test_clean_batches_need_no_repair(self, tmp_path):
+        records = _records(12, seed=33)
+        router = ShardRouter(tmp_path / "db", 3, wal=True)
+        ids = router.add_batch(records, batch_size=5)
+        assert ids == list(range(12))
+        answers = router.query("//book")
+        router.close()
+        reopened = ShardRouter(tmp_path / "db")
+        try:
+            assert reopened.query("//book") == answers
+        finally:
+            reopened.close()

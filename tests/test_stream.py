@@ -1,0 +1,161 @@
+"""Streaming record splitter: equivalence with split_records + encodings.
+
+The contract of :func:`iter_stream_records` is byte-identical record
+extraction to ``parse_document`` + ``split_records`` — same records,
+same order, same spine handling — without materialising the corpus.
+Doc-id assignment downstream depends on that order, so equivalence is
+asserted structurally, record by record.
+"""
+
+import io
+import tracemalloc
+
+import pytest
+
+from repro.doc import (
+    decode_xml_bytes,
+    detect_xml_encoding,
+    iter_stream_records,
+    parse_document,
+    parse_document_bytes,
+)
+from repro.doc.split import split_records
+from repro.errors import DocumentError, XmlParseError
+
+NESTED = """\
+<?xml version="1.0"?>
+<corpus date="2003">
+  <noise><skip>me</skip></noise>
+  <record id="r1">
+    <field>alpha</field>
+    <record id="r1.1"><field>nested</field></record>
+  </record>
+  <other label="x"/>
+  <record id="r2"><field>beta</field></record>
+  <group>
+    <record id="r3"><field>gamma</field></record>
+  </group>
+</corpus>
+"""
+
+
+def _shape(node):
+    return (
+        node.label,
+        tuple(sorted(node.attributes.items())),
+        node.text or "",
+        tuple(_shape(child) for child in node.children),
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("keep_spine", [True, False])
+    def test_matches_split_records(self, keep_spine):
+        baseline = split_records(
+            parse_document(NESTED).root, ["record"], keep_spine=keep_spine
+        )
+        streamed = list(
+            iter_stream_records(
+                NESTED.encode(), ["record"], keep_spine=keep_spine
+            )
+        )
+        assert [_shape(n) for n in streamed] == [_shape(n) for n in baseline]
+
+    def test_multiple_labels(self):
+        labels = ["record", "other"]
+        baseline = split_records(parse_document(NESTED).root, labels)
+        streamed = list(iter_stream_records(NESTED.encode(), labels))
+        assert [_shape(n) for n in streamed] == [_shape(n) for n in baseline]
+
+    def test_no_labels_yields_whole_document(self):
+        (root,) = iter_stream_records(NESTED.encode())
+        assert _shape(root) == _shape(parse_document(NESTED).root)
+
+    def test_sources_are_interchangeable(self, tmp_path):
+        data = NESTED.encode()
+        path = tmp_path / "corpus.xml"
+        path.write_bytes(data)
+        from_bytes = [_shape(n) for n in iter_stream_records(data, ["record"])]
+        from_path = [_shape(n) for n in iter_stream_records(path, ["record"])]
+        with open(path, "rb") as fh:
+            from_file = [_shape(n) for n in iter_stream_records(fh, ["record"])]
+        assert from_bytes == from_path == from_file
+
+    def test_tiny_chunks_do_not_change_output(self):
+        baseline = [_shape(n) for n in iter_stream_records(NESTED.encode(), ["record"])]
+        tiny = [
+            _shape(n)
+            for n in iter_stream_records(NESTED.encode(), ["record"], chunk_size=7)
+        ]
+        assert tiny == baseline
+
+
+class TestErrors:
+    def test_empty_label_list_rejected(self):
+        with pytest.raises(DocumentError):
+            list(iter_stream_records(NESTED.encode(), []))
+
+    def test_malformed_xml(self):
+        with pytest.raises(XmlParseError):
+            list(iter_stream_records(b"<a><b></a>", ["b"]))
+
+    def test_empty_stream(self):
+        with pytest.raises(XmlParseError):
+            list(iter_stream_records(b""))
+
+
+class TestEncoding:
+    def test_prolog_encoding_is_honoured(self):
+        text = '<?xml version="1.0" encoding="ISO-8859-1"?><r><v>café</v></r>'
+        data = text.encode("latin-1")
+        (record,) = iter_stream_records(data, ["r"], keep_spine=False)
+        assert record.children[0].text == "café"
+
+    def test_parse_document_bytes_latin1(self):
+        text = '<?xml version="1.0" encoding="ISO-8859-1"?><r n="ü">é</r>'
+        doc = parse_document_bytes(text.encode("latin-1"))
+        assert doc.root.attributes["n"] == "ü"
+        assert doc.root.text == "é"
+
+    def test_detect_encoding_variants(self):
+        assert detect_xml_encoding(b"<a/>") == "utf-8"
+        assert (
+            detect_xml_encoding(b'<?xml version="1.0" encoding="ISO-8859-1"?><a/>')
+            == "ISO-8859-1"
+        )
+        assert detect_xml_encoding("﻿<a/>".encode("utf-8-sig")) == "utf-8-sig"
+        assert detect_xml_encoding("<a/>".encode("utf-16")).startswith("utf-16")
+        assert detect_xml_encoding("<a/>".encode("utf-16-le")) in (
+            "utf-16",
+            "utf-16-le",
+        )
+
+    def test_decode_rejects_bad_bytes(self):
+        # declared utf-8 but latin-1 payload: must fail loudly, not mojibake
+        bad = '<?xml version="1.0" encoding="UTF-8"?><r>café</r>'.encode("latin-1")
+        with pytest.raises(XmlParseError):
+            decode_xml_bytes(bad)
+
+    def test_unknown_encoding_name(self):
+        with pytest.raises(XmlParseError):
+            decode_xml_bytes(b'<?xml version="1.0" encoding="no-such-enc"?><a/>')
+
+
+class TestMemory:
+    def test_peak_memory_stays_flat(self):
+        # ~200k records would be overkill for CI; 2MB of records is enough
+        # to show the splitter retains O(record), not O(corpus)
+        record = b'<record id="r"><field>some text payload here</field></record>\n'
+        n_records = 8_000_000 // len(record)
+        body = record * n_records
+        data = b"<corpus>\n" + body + b"</corpus>"
+        stream = io.BytesIO(data)
+        tracemalloc.start()
+        count = 0
+        for node in iter_stream_records(stream, ["record"], keep_spine=False):
+            count += 1
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert count == n_records
+        # parser buffers + one record at a time: nowhere near the corpus
+        assert peak < len(data) / 4
