@@ -25,6 +25,7 @@ from repro.bench.harness import (
 )
 from repro.datasets.synthetic import SyntheticConfig, SyntheticGenerator
 from repro.index.matching import SequenceMatcher
+from repro.kernels import packed_enabled
 
 N_DOCS = 6000
 DOC_SIZE = 30
@@ -41,6 +42,7 @@ REPORT = Report(
 
 _lengths: dict[int, dict] = {}
 _index_holder: list = []
+_descent_base: list = []
 
 
 @pytest.fixture(scope="module")
@@ -49,6 +51,14 @@ def setup():
     docs = list(gen.documents(N_DOCS))
     index = build_index("vist", docs)
     _index_holder.append(index)
+    # post-build snapshot: the kernels block reports the query-phase
+    # descent hit rate (build inserts invalidate on nearly every put)
+    _descent_base.append((
+        index.tree.descent_hits,
+        index.tree.descent_misses,
+        index.docid_tree.descent_hits,
+        index.docid_tree.descent_misses,
+    ))
     batches = {}
     for length in QUERY_LENGTHS:
         queries = gen.queries(QUERIES_PER_LENGTH, size=length)
@@ -93,6 +103,21 @@ def bench_json_payload():
     """Machine-readable Figure 10(a) results (written by conftest teardown)."""
     if not _lengths:
         return None
+    kernels = None
+    if _index_holder:
+        index = _index_holder[0]
+        h0, m0, dh0, dm0 = _descent_base[0] if _descent_base else (0, 0, 0, 0)
+        ch = index.tree.descent_hits - h0
+        cm = index.tree.descent_misses - m0
+        dh = index.docid_tree.descent_hits - dh0
+        dm = index.docid_tree.descent_misses - dm0
+        kernels = {"packed": packed_enabled()}
+        if ch + cm:
+            kernels["combined_descent_hit_rate"] = ch / (ch + cm)
+        # the timed phase never touches the DocId tree (the paper excludes
+        # DocId output time), so the rate only exists when seeks happened
+        if dh + dm:
+            kernels["docid_descent_hit_rate"] = dh / (dh + dm)
     payload = {
         "config": {
             "n_docs": N_DOCS,
@@ -102,6 +127,7 @@ def bench_json_payload():
         },
         "lengths": {str(k): v for k, v in sorted(_lengths.items())},
         "headline_seconds": sum(v["seconds_per_query"] for v in _lengths.values()),
+        "kernels": kernels,
         "cache_stats": _index_holder[0].cache_stats() if _index_holder else None,
         "metrics": metrics_snapshot(_index_holder[0]) if _index_holder else None,
     }

@@ -34,6 +34,7 @@ from repro.bench.harness import (
 from repro.bench.workloads import TABLE3_QUERIES
 from repro.datasets.dblp import DblpConfig, DblpGenerator
 from repro.datasets.xmark import XmarkConfig, XmarkGenerator
+from repro.kernels import packed_enabled
 
 N_DBLP = 1500
 N_XMARK = 1500
@@ -51,6 +52,10 @@ _rows: dict[str, dict[str, float]] = {}
 _matches: dict[str, int] = {}
 _match_stats: dict[str, dict] = {}
 _vist_indexes: dict[str, object] = {}
+# post-build descent-counter snapshots: the kernels block reports the
+# *query-phase* hit rate — build inserts bump the structure version on
+# nearly every put, so counting them drowns the signal the gate watches
+_descent_base: dict[str, tuple[int, int, int, int]] = {}
 _corpus_docs: dict[str, list] = {}  # stashed for the sharded block
 
 
@@ -77,7 +82,14 @@ def indexes(corpora):
     for dataset in ("dblp", "xmark"):
         for kind in KINDS:
             out[dataset, kind] = build_index(kind, docs[dataset], schemas[dataset])
-        _vist_indexes[dataset] = out[dataset, "vist"]
+        vist = out[dataset, "vist"]
+        _vist_indexes[dataset] = vist
+        _descent_base[dataset] = (
+            vist.tree.descent_hits,
+            vist.tree.descent_misses,
+            vist.docid_tree.descent_hits,
+            vist.docid_tree.descent_misses,
+        )
     return out
 
 
@@ -147,6 +159,30 @@ def bench_json_payload():
         sharded = sharded_throughput(
             _corpus_docs["dblp"], dblp_queries, workers_list=(1, 2, 4), repeats=3
         )
+    # packed-kernel figures: query-phase descent-cache effectiveness
+    # aggregated over both dataset indexes, counted from the post-build
+    # snapshot (the combined-tree rate is the regression-gated one — the
+    # single-slot cache thrashed at ~8% there even query-side)
+    combined_hits = combined_misses = docid_hits = docid_misses = 0
+    for dataset, index in _vist_indexes.items():
+        h0, m0, dh0, dm0 = _descent_base.get(dataset, (0, 0, 0, 0))
+        combined_hits += index.tree.descent_hits - h0
+        combined_misses += index.tree.descent_misses - m0
+        docid_hits += index.docid_tree.descent_hits - dh0
+        docid_misses += index.docid_tree.descent_misses - dm0
+    kernels = {
+        "packed": packed_enabled(),
+        "combined_descent_hit_rate": (
+            combined_hits / (combined_hits + combined_misses)
+            if combined_hits + combined_misses
+            else 0.0
+        ),
+        "docid_descent_hit_rate": (
+            docid_hits / (docid_hits + docid_misses)
+            if docid_hits + docid_misses
+            else 0.0
+        ),
+    }
     payload = {
         "config": {
             "n_dblp": N_DBLP,
@@ -156,6 +192,7 @@ def bench_json_payload():
         },
         "queries": queries,
         "headline_seconds": headline,
+        "kernels": kernels,
         "parallel": parallel,
         "sharded": sharded,
         "cache_stats": {

@@ -25,6 +25,7 @@ from repro.baselines.pathindex import PathIndex
 from repro.index.naive import NaiveIndex
 from repro.index.rist import RistIndex
 from repro.index.vist import VistIndex
+from repro.kernels import packed_enabled
 from repro.sequence.transform import SequenceEncoder
 
 __all__ = [
@@ -324,7 +325,12 @@ def write_bench_json(name: str, payload: dict, directory: Optional[str] = None) 
     in version control PR over PR.
     """
     path = bench_json_path(name, directory)
-    doc = {"experiment": name, "query_cache": query_cache_enabled(), **payload}
+    doc = {
+        "experiment": name,
+        "query_cache": query_cache_enabled(),
+        "packed": packed_enabled(),
+        **payload,
+    }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Protocol
 
 from repro.index.postings import PostingGroup
+from repro.kernels import packed_enabled
 from repro.labeling.scope import Scope
 from repro.obs.metrics import MetricSet
 from repro.query.ast import Dslash, PrefixToken, QueryItem, QuerySequence, Star
@@ -204,11 +205,27 @@ class SequenceMatcher:
     into O(distinct keys) index traversals).  ``batched=False`` keeps the
     original depth-first recursion — same answers, used as the reference
     implementation in equivalence tests.
+
+    ``packed`` selects the *columnar* frontier for the batched walk: the
+    per-level expansion consumes :class:`PostingGroup`'s packed columns
+    directly (``select_span`` + index arithmetic over ``ns``/``ends``/
+    ``prefixes``) and carries states as ``(n, end, bindings)`` int
+    triples, never materialising ``(Prefix, Scope)`` tuples per posting.
+    ``packed=None`` (default) follows the ``REPRO_PACKED`` environment
+    toggle at query time; both settings produce identical answers and
+    identical :class:`MatchStats`.
     """
 
-    def __init__(self, host: MatchingHost, *, batched: bool = True) -> None:
+    def __init__(
+        self,
+        host: MatchingHost,
+        *,
+        batched: bool = True,
+        packed: Optional[bool] = None,
+    ) -> None:
         self.host = host
         self.batched = batched
+        self.packed = packed
         # Effort of the most recent *completed* match.  Each match runs
         # against its own private MatchStats (threaded through the call
         # chain, never stored on self mid-flight) and publishes it here
@@ -260,7 +277,11 @@ class SequenceMatcher:
             else None
         )
         if self.batched:
-            finals = self._final_scopes_batched(query, stats, guard, trace)
+            packed = packed_enabled() if self.packed is None else self.packed
+            if packed:
+                finals = self._final_scopes_packed(query, stats, guard, trace)
+            else:
+                finals = self._final_scopes_batched(query, stats, guard, trace)
         else:
             finals = self._final_scopes_recursive(query, stats, guard, trace)
         if before is not None:
@@ -328,6 +349,128 @@ class SequenceMatcher:
                 seen_finals.add(scope.n)
                 finals.append(scope)
         return finals
+
+    def _final_scopes_packed(
+        self, query: QuerySequence, stats: MatchStats, guard, trace
+    ) -> list[Scope]:
+        """Columnar variant of the batched frontier (same answers/stats).
+
+        States are ``(n, end, bindings)`` int triples and expansion reads
+        the posting columns in place — no per-posting ``Scope``/tuple
+        allocation until the final frontier is turned back into scopes.
+        """
+        items = query.items
+        max_len = self.host.max_prefix_len()
+        if trace is not None:
+            pager = getattr(self.host, "_pager", None)
+            postings = getattr(self.host, "postings", None)
+        root = self.host.root_scope()
+        frontier: list[tuple[int, int, Bindings]] = [(root.n, root.end, ())]
+        for level, qi in enumerate(items):
+            if trace is not None:
+                span = trace.begin(
+                    f"level {level}", item=str(qi), frontier_in=len(frontier)
+                )
+                rq0, cand0 = stats.range_queries, stats.candidates
+                bat0 = stats.batched_states
+                pages0 = pager.read_count if pager is not None else 0
+                if postings is not None:
+                    hits0, misses0 = postings.stats.hits, postings.stats.misses
+            groups: GroupMemo = {}
+            next_frontier: list[tuple[int, int, Bindings]] = []
+            seen: set[tuple[int, Bindings]] = set()
+            for n, end, bindings in frontier:
+                stats.search_states += 1
+                if guard is not None:
+                    guard.step()
+                self._expand_packed(
+                    qi, n, end, bindings, max_len, stats, guard, groups, seen,
+                    next_frontier,
+                )
+            frontier = next_frontier
+            if trace is not None:
+                meta = {
+                    "frontier_out": len(frontier),
+                    "range_queries": stats.range_queries - rq0,
+                    "candidates": stats.candidates - cand0,
+                    "batched": stats.batched_states - bat0,
+                }
+                if pager is not None:
+                    meta["page_reads"] = pager.read_count - pages0
+                if postings is not None:
+                    meta["cache_hits"] = postings.stats.hits - hits0
+                    meta["cache_misses"] = postings.stats.misses - misses0
+                trace.end(span, **meta)
+            if not frontier:
+                break
+        finals: list[Scope] = []
+        seen_finals: set[int] = set()
+        for n, end, _ in frontier:
+            if n not in seen_finals:
+                seen_finals.add(n)
+                finals.append(Scope(n, end - n))
+        return finals
+
+    def _expand_packed(
+        self,
+        qi: QueryItem,
+        n: int,
+        end: int,
+        bindings: Bindings,
+        max_len: int,
+        stats: MatchStats,
+        guard,
+        groups: GroupMemo,
+        seen: set[tuple[int, Bindings]],
+        out: list[tuple[int, int, Bindings]],
+    ) -> None:
+        """Expand one packed state over the posting columns, in place.
+
+        Mirrors ``_candidates`` + the dedup loop of the tuple frontier:
+        identical counter increments, identical candidate order, identical
+        ``(child_n, bindings)`` dedup — only the representation differs.
+        """
+        leading, tail = resolve_pattern(qi.prefix, bindings)
+        if not tail:
+            # fully concrete prefix: a single D-Ancestor key, scope range
+            stats.range_queries += 1
+            if guard is not None:
+                guard.step()
+            group = self._group(qi.symbol, len(leading), leading, groups, stats)
+            lo, hi = group.select_span(n, end)
+            ns, ends = group.ns, group.ends
+            for i in range(lo, hi):
+                stats.candidates += 1
+                child_n = ns[i]
+                state = (child_n, bindings)
+                if state not in seen:
+                    seen.add(state)
+                    out.append((child_n, ends[i], bindings))
+            return
+        min_extra = sum(1 for t in tail if isinstance(t, (str, Star)))
+        if all(not isinstance(t, Dslash) for t in tail):
+            lengths = [len(leading) + min_extra]
+        else:
+            lengths = range(len(leading) + min_extra, max_len + 1)
+        nlead = len(leading)
+        for plen in lengths:
+            stats.range_queries += 1
+            if guard is not None:
+                guard.step()
+            group = self._group(qi.symbol, plen, leading, groups, stats)
+            lo, hi = group.select_span(n, end)
+            ns, ends, prefixes = group.ns, group.ends, group.prefixes
+            for i in range(lo, hi):
+                child_n = ns[i]
+                child_end = ends[i]
+                for new_bindings in match_prefix_pattern(
+                    tail, prefixes[i][nlead:], bindings
+                ):
+                    stats.candidates += 1
+                    state = (child_n, new_bindings)
+                    if state not in seen:
+                        seen.add(state)
+                        out.append((child_n, child_end, new_bindings))
 
     def _final_scopes_recursive(
         self, query: QuerySequence, stats: MatchStats, guard, trace
@@ -431,13 +574,25 @@ class SequenceMatcher:
         """One D/S-Ancestor lookup, batched through the level memo."""
         if groups is None:
             return self.host.iter_candidates(symbol, prefix_len, leading, scope)
+        group = self._group(symbol, prefix_len, leading, groups, stats)
+        return group.select(scope)
+
+    def _group(
+        self,
+        symbol,
+        prefix_len: int,
+        leading: tuple[str, ...],
+        groups: GroupMemo,
+        stats: MatchStats,
+    ) -> PostingGroup:
+        """Fetch a posting group through the per-level memo."""
         key = (symbol, prefix_len, leading)
         group = groups.get(key)
         if group is None:
             groups[key] = group = self._fetch_group(symbol, prefix_len, leading)
         else:
             stats.batched_states += 1
-        return group.select(scope)
+        return group
 
     def _fetch_group(
         self, symbol, prefix_len: int, leading: tuple[str, ...]

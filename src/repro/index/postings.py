@@ -22,11 +22,12 @@ when an entry is *added to* or *removed from* a group — which is what
 from __future__ import annotations
 
 import threading
-from bisect import bisect_left, bisect_right
+from bisect import bisect_right
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterable
+from typing import Callable, Hashable, Iterable, Optional
 
+from repro.kernels import pack_ints
 from repro.labeling.scope import Scope
 from repro.obs.metrics import MetricSet
 from repro.sequence.encoding import Prefix
@@ -37,24 +38,77 @@ Posting = tuple[Prefix, Scope]
 __all__ = ["PostingGroup", "PostingCacheStats", "PostingCache"]
 
 
-class PostingGroup:
-    """One D-Ancestor key group, sorted by the S-Ancestor label ``n``."""
+# Prefix interning: every posting of a concrete D-Ancestor group shares
+# one prefix tuple, and wildcard groups draw from a small label alphabet,
+# so the distinct-prefix population is tiny next to the posting count.
+# Interning makes the ``prefixes`` column N references to a handful of
+# tuples instead of N tuple objects.  Capped so adversarial corpora
+# cannot grow it without bound (hits past the cap simply stay unshared).
+_PREFIX_INTERN: dict[Prefix, Prefix] = {}
+_PREFIX_INTERN_CAP = 1 << 16
 
-    __slots__ = ("ns", "entries")
+
+def _intern_prefix(prefix: Prefix) -> Prefix:
+    interned = _PREFIX_INTERN.get(prefix)
+    if interned is not None:
+        return interned
+    if len(_PREFIX_INTERN) < _PREFIX_INTERN_CAP:
+        _PREFIX_INTERN[prefix] = prefix
+    return prefix
+
+
+class PostingGroup:
+    """One D-Ancestor key group as packed parallel columns, sorted by ``n``.
+
+    The postings live in three columns: ``ns`` and ``ends`` (the
+    S-Ancestor label and scope end, packed to ``array('q')`` by
+    :func:`repro.kernels.pack_ints` when they fit int64, plain lists
+    otherwise) and ``prefixes`` (interned prefix tuples).  The batched
+    matcher consumes the columns directly via :meth:`select_span` —
+    two bisects plus index arithmetic, no per-posting object churn.
+    ``entries`` (the old list-of-``(Prefix, Scope)`` view) is
+    materialised lazily for the serial/reference paths and cached.
+    """
+
+    __slots__ = ("ns", "ends", "prefixes", "_entries")
 
     def __init__(self, postings: Iterable[Posting]) -> None:
         ordered = sorted(postings, key=lambda posting: posting[1].n)
-        self.entries: list[Posting] = ordered
-        self.ns: list[int] = [scope.n for _, scope in ordered]
+        self.ns = pack_ints([scope.n for _, scope in ordered])
+        self.ends = pack_ints([scope.end for _, scope in ordered])
+        self.prefixes: tuple[Prefix, ...] = tuple(
+            _intern_prefix(prefix) for prefix, _ in ordered
+        )
+        self._entries: Optional[list[Posting]] = None
+
+    @property
+    def entries(self) -> list[Posting]:
+        """Tuple view ``[(prefix, Scope), ...]``, built once on demand."""
+        entries = self._entries
+        if entries is None:
+            entries = [
+                (prefix, Scope(n, end - n))
+                for prefix, n, end in zip(self.prefixes, self.ns, self.ends)
+            ]
+            self._entries = entries
+        return entries
+
+    def select_span(self, n: int, end: int) -> tuple[int, int]:
+        """Column index range of postings with label in ``(n, end]``.
+
+        ``bisect_right(ns, n)`` equals the old ``bisect_left(ns, n + 1)``
+        for integer columns — first label strictly greater than ``n``.
+        """
+        ns = self.ns
+        return bisect_right(ns, n), bisect_right(ns, end)
 
     def select(self, within: Scope) -> list[Posting]:
         """Postings whose ``n`` lies in the S-Ancestor range ``(n, n+size]``."""
-        lo = bisect_left(self.ns, within.n + 1)
-        hi = bisect_right(self.ns, within.end)
+        lo, hi = self.select_span(within.n, within.end)
         return self.entries[lo:hi]
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return len(self.ns)
 
 
 @dataclass

@@ -50,6 +50,7 @@ class RistIndex(XmlIndexBase, CombinedTreeHost):
         max_alternatives: int = 24,
         posting_cache_size: int = 512,
         batched: bool = True,
+        packed: Optional[bool] = None,
     ) -> None:
         XmlIndexBase.__init__(
             self, encoder, docstore,
@@ -59,7 +60,7 @@ class RistIndex(XmlIndexBase, CombinedTreeHost):
         self.tree = BPlusTree(self._pager, slot=0)
         self.docid_tree = BPlusTree(self._pager, slot=1)
         self.postings = PostingCache(posting_cache_size) if posting_cache_size else None
-        self._matcher = SequenceMatcher(self, batched=batched)
+        self._matcher = SequenceMatcher(self, batched=batched, packed=packed)
         self.trie: Optional[SequenceTrie] = SequenceTrie()
         self._root_scope: Optional[Scope] = None
         self._register_host_metrics()

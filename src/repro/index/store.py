@@ -26,6 +26,7 @@ from repro.sequence.encoding import Item, Prefix
 from repro.storage.bptree import BPlusTree
 from repro.storage.cache import BufferPool
 from repro.storage.serialization import (
+    decode_items,
     decode_tuple,
     decode_uint,
     encode_tuple,
@@ -109,6 +110,27 @@ def decode_node_key(key: bytes) -> tuple[Symbol, Prefix, int]:
     return symbol, tuple(parts[2 : 2 + plen]), parts[2 + plen]
 
 
+def _group_key_tail(
+    key: bytes, stem: bytes, leading: tuple[str, ...], extra: int
+) -> tuple[Prefix, int]:
+    """``(prefix, n)`` of one key from a D-Ancestor group scan.
+
+    Every key of the scanned range shares the ``(symbol, prefix_len,
+    *leading)`` stem (the scan bounds guarantee it for well-formed keys),
+    so only the per-key tail — ``extra`` wildcard labels plus ``n`` — is
+    decoded, instead of re-decoding the whole tuple per entry.  The
+    stem-mismatch fallback keeps malformed keys on the slow exact path.
+    """
+    if key.startswith(stem):
+        base = len(stem)
+        if extra:
+            tail, off = decode_items(key, base, extra)
+            return leading + tail, decode_items(key, off, 1)[0][0]
+        return leading, decode_items(key, base, 1)[0][0]
+    _, prefix, n = decode_node_key(key)
+    return prefix, n
+
+
 class CombinedTreeHost:
     """Matching-host implementation over the two B+Trees.
 
@@ -156,19 +178,20 @@ class CombinedTreeHost:
         if self.postings is not None:
             yield from self.fetch_postings(symbol, prefix_len, leading).select(within)
             return
+        stem = encode_tuple((symbol, prefix_len, *leading))
         if prefix_len == len(leading):
             # concrete prefix: bound the scan by the S-Ancestor range too
-            lo = encode_tuple((symbol, prefix_len, *leading, within.n + 1))
-            hi = encode_tuple((symbol, prefix_len, *leading, within.end))
+            lo = stem + encode_tuple((within.n + 1,))
+            hi = stem + encode_tuple((within.end,))
             for key, value in self.tree.range(lo, hi, include_hi=True):
-                _, prefix, n = decode_node_key(key)
+                prefix, n = _group_key_tail(key, stem, leading, 0)
                 scope = self._scope_of(n, value)
                 if scope is not None:
                     yield prefix, scope
             return
-        scan = encode_tuple((symbol, prefix_len, *leading))
-        for key, value in self.tree.range(scan, prefix_range_end(scan)):
-            _, prefix, n = decode_node_key(key)
+        extra = prefix_len - len(leading)
+        for key, value in self.tree.range(stem, prefix_range_end(stem)):
+            prefix, n = _group_key_tail(key, stem, leading, extra)
             if not within.contains_descendant_id(n):
                 continue
             scope = self._scope_of(n, value)
@@ -196,9 +219,10 @@ class CombinedTreeHost:
         self, symbol: Symbol, prefix_len: int, leading: tuple[str, ...]
     ) -> Iterator[tuple[Prefix, Scope]]:
         """Range-scan one D-Ancestor key group out of the combined tree."""
-        scan = encode_tuple((symbol, prefix_len, *leading))
-        for key, value in self.tree.range(scan, prefix_range_end(scan)):
-            _, prefix, n = decode_node_key(key)
+        stem = encode_tuple((symbol, prefix_len, *leading))
+        extra = prefix_len - len(leading)
+        for key, value in self.tree.range(stem, prefix_range_end(stem)):
+            prefix, n = _group_key_tail(key, stem, leading, extra)
             scope = self._scope_of(n, value)
             if scope is not None:
                 yield prefix, scope

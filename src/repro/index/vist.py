@@ -81,6 +81,7 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
         max_alternatives: int = 24,
         posting_cache_size: int = 512,
         batched: bool = True,
+        packed: Optional[bool] = None,
     ) -> None:
         XmlIndexBase.__init__(
             self, encoder, docstore,
@@ -92,7 +93,7 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
         # Query-path posting cache (0 disables).  It lives in instance
         # memory only, so reopening from disk always starts cold.
         self.postings = PostingCache(posting_cache_size) if posting_cache_size else None
-        self._matcher = SequenceMatcher(self, batched=batched)
+        self._matcher = SequenceMatcher(self, batched=batched, packed=packed)
         # "we collect statistics during data generation for dynamic
         # labeling purposes": with collect_stats the corpus statistics
         # accumulate as documents arrive, and the clue-free allocator
@@ -559,7 +560,10 @@ class VistIndex(XmlIndexBase, CombinedTreeHost):
         return self._root_state.scope
 
     def _scope_of(self, n: int, value: bytes) -> Optional[Scope]:
-        return NodeState.from_bytes(n, value).scope
+        # NodeState.to_bytes starts [flags][uint size]...; the query path
+        # only needs the scope, so decode just the size field instead of
+        # rebuilding the whole NodeState per posting (hot in group loads).
+        return Scope(n, decode_uint(value, 1)[0])
 
     # ------------------------------------------------------------------
     # payloads: sequence bytes + the node labels of the insert path

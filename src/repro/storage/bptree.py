@@ -25,16 +25,22 @@ Concurrency and caching
 Nodes are decoded once and cached in memory; dirty nodes are written back
 on :meth:`BPlusTree.flush` / :meth:`BPlusTree.close` or on an explicit
 :meth:`BPlusTree.checkpoint`, which may also drop the cache at a quiescent
-point.  The tree is **single-writer**: mutation is serialised by the
-owning index's readers–writer lock (:class:`repro.exec.locks.RWLock`),
-the same operating envelope the paper's experiments use.  Concurrent
-*readers* are tolerated by construction on the lookup path: the
-last-descent cache is a single atomically-swapped immutable
-:class:`_DescentSlot` that carries its own structure version and is
-re-validated after the leaf is fetched, so a reader that raced a writer
-retries the full descent instead of trusting a stale slot, and the
-leaf-chain walk in :meth:`BPlusTree._seek` recovers from landing on a
-leaf that a concurrent split has since divided.
+point.  With the packed kernels enabled (``REPRO_PACKED``, see
+:mod:`repro.kernels`), a leaf "decode" is just a one-pass cell-offset
+table over the page buffer — keys and values are sliced out on access,
+so a point lookup touches O(log n) cells of a page instead of
+materialising all of them; mutation paths materialise the entry list
+once and proceed as before.  The tree is **single-writer**: mutation is
+serialised by the owning index's readers–writer lock
+(:class:`repro.exec.locks.RWLock`), the same operating envelope the
+paper's experiments use.  Concurrent *readers* are tolerated by
+construction on the lookup path: the descent cache is a small LRU of
+immutable :class:`_DescentSlot` objects held as one atomically-swapped
+tuple; each slot carries its own structure version and is re-validated
+after the leaf is fetched, so a reader that raced a writer retries the
+full descent instead of trusting a stale slot, and the leaf-chain walk
+in :meth:`BPlusTree._seek` recovers from landing on a leaf that a
+concurrent split has since divided.
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.errors import DuplicateEntryError, KeyTooLargeError, PageError, StorageError
+from repro.kernels import leaf_cell_offsets, packed_enabled
 from repro.obs.metrics import MetricSet
 from repro.storage.pager import MemoryPager, Pager
 
@@ -61,14 +68,22 @@ _META_FMT = "<H"  # number of slots
 Pair = tuple[bytes, bytes]
 
 
+# How many recent descents each tree remembers.  One slot thrashes on the
+# combined tree (Algorithm 2 interleaves D-Ancestor key groups level by
+# level, so consecutive seeks alternate between distant leaves); a handful
+# covers a whole frontier level's worth of hot groups.
+_DESCENT_SLOTS = 8
+
+
 class _DescentSlot:
     """One remembered descent: routing separators + leaf, version-stamped.
 
-    Immutable after construction and swapped into ``BPlusTree._descent``
-    as a whole, so a concurrent reader either sees a complete slot or
-    ``None`` — never a half-updated ``(version, lo, hi, pid)`` tuple.
-    The stamped ``version`` makes validation a single comparison against
-    the tree's current structure version.
+    Immutable after construction; ``BPlusTree._descents`` holds up to
+    ``_DESCENT_SLOTS`` of these as one tuple swapped atomically as a
+    whole, so a concurrent reader either sees a complete slot list or an
+    older one — never a half-updated ``(version, lo, hi, pid)``.  The
+    stamped ``version`` makes validation a single comparison against the
+    tree's current structure version.
     """
 
     __slots__ = ("version", "lo", "hi", "pid")
@@ -180,15 +195,108 @@ class _Node:
 
 
 class _Leaf(_Node):
-    __slots__ = ("entries", "next", "_used")
+    """A leaf node, eager or *lazy*.
 
-    def __init__(self, pid: int, entries: list[Pair], next_pid: int) -> None:
+    Lazy leaves (packed decode) carry the raw page buffer plus a flat
+    cell-offset table instead of a materialised entry list; the read-path
+    accessors (:meth:`count`, :meth:`key_at`, :meth:`pair_at`,
+    :meth:`bisect_entries`) slice cells out of the buffer on demand.
+    Reading :attr:`entries` materialises the full list once and caches it
+    (``_raw``/``_offsets`` are deliberately *not* cleared then: a reader
+    racing the materialisation keeps valid offsets).  Assigning
+    ``entries`` — the structural-rewrite paths — drops the raw view, so
+    a mutated leaf can never serve stale page bytes.
+    """
+
+    __slots__ = ("_entries", "next", "_used", "_raw", "_offsets")
+
+    def __init__(
+        self,
+        pid: int,
+        entries: Optional[list[Pair]],
+        next_pid: int,
+        *,
+        raw: Optional[bytes] = None,
+        offsets=None,
+        used: Optional[int] = None,
+    ) -> None:
         self.pid = pid
-        self.entries = entries
+        self._entries = entries
         self.next = next_pid
         # cached used_bytes: insert/delete maintain it by delta (the hot
         # paths), structural rewrites reset it to None for a lazy recount
-        self._used: Optional[int] = None
+        self._used: Optional[int] = used
+        self._raw = raw
+        self._offsets = offsets
+
+    @property
+    def entries(self) -> list[Pair]:
+        entries = self._entries
+        if entries is None:
+            raw, offs = self._raw, self._offsets
+            entries = [
+                (
+                    raw[offs[j] : offs[j] + offs[j + 1]],
+                    raw[offs[j] + offs[j + 1] : offs[j] + offs[j + 1] + offs[j + 2]],
+                )
+                for j in range(0, len(offs), 3)
+            ]
+            self._entries = entries
+        return entries
+
+    @entries.setter
+    def entries(self, entries: list[Pair]) -> None:
+        self._entries = entries
+        self._raw = None
+        self._offsets = None
+
+    @property
+    def count(self) -> int:
+        entries = self._entries
+        if entries is not None:
+            return len(entries)
+        return len(self._offsets) // 3
+
+    def key_at(self, i: int) -> bytes:
+        entries = self._entries
+        if entries is not None:
+            return entries[i][0]
+        offs = self._offsets
+        j = 3 * i
+        base = offs[j]
+        return self._raw[base : base + offs[j + 1]]
+
+    def pair_at(self, i: int) -> Pair:
+        entries = self._entries
+        if entries is not None:
+            return entries[i]
+        offs = self._offsets
+        j = 3 * i
+        base = offs[j]
+        ksplit = base + offs[j + 1]
+        return self._raw[base:ksplit], self._raw[ksplit : ksplit + offs[j + 2]]
+
+    def bisect_entries(self, bound: Pair) -> int:
+        """``bisect_left(self.entries, bound)`` without materialising."""
+        entries = self._entries
+        if entries is not None:
+            return bisect_left(entries, bound)
+        raw, offs = self._raw, self._offsets
+        bkey, bval = bound
+        lo, hi = 0, len(offs) // 3
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            j = 3 * mid
+            base = offs[j]
+            ksplit = base + offs[j + 1]
+            key = raw[base:ksplit]
+            if key < bkey or (
+                key == bkey and raw[ksplit : ksplit + offs[j + 2]] < bval
+            ):
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
 
     def used_bytes(self) -> int:
         if self._used is None:
@@ -227,12 +335,14 @@ class BPlusTree:
         self._cache: dict[int, _Node] = {}
         self._dirty: set[int] = set()
         self._closed = False
-        # Last-descent cache.  Consecutive seeks over nearby keys —
-        # Algorithm 2's dominant pattern — reuse the leaf when the seek
-        # bound still falls between the separators that routed the
-        # previous descent.  Held as one immutable _DescentSlot so
-        # concurrent readers can never observe a torn update.
-        self._descent: Optional[_DescentSlot] = None
+        # Descent cache.  Consecutive seeks over nearby keys — Algorithm
+        # 2's dominant pattern — reuse a leaf when the seek bound still
+        # falls between the separators that routed a recent descent.  A
+        # small LRU of immutable _DescentSlot objects, held as one tuple
+        # swapped atomically as a whole so concurrent readers can never
+        # observe a torn update; multiple slots keep the interleaved key
+        # groups of a frontier level from evicting each other.
+        self._descents: tuple[_DescentSlot, ...] = ()
         self._structure_version = 0
         self.descent_hits = 0
         self.descent_misses = 0
@@ -311,6 +421,14 @@ class BPlusTree:
         (n,) = struct.unpack_from("<H", raw, 1)
         if kind == _LEAF:
             (next_pid,) = struct.unpack_from("<Q", raw, 3)
+            if packed_enabled():
+                # zero-copy decode: offset table only, cells sliced from
+                # the page buffer on access (the end offset is exactly
+                # the page's used-bytes figure, cached for free)
+                offsets, end = leaf_cell_offsets(raw, n, _LEAF_HEADER)
+                return _Leaf(
+                    pid, None, next_pid, raw=raw, offsets=offsets, used=end
+                )
             off = _LEAF_HEADER
             entries: list[Pair] = []
             for _ in range(n):
@@ -488,8 +606,10 @@ class BPlusTree:
         self._ensure_open()
         key = bytes(key)
         leaf, idx = self._seek(key, True)
-        if leaf is not None and leaf.entries[idx][0] == key:
-            return leaf.entries[idx][1]
+        if leaf is not None:
+            ekey, value = leaf.pair_at(idx)
+            if ekey == key:
+                return value
         return None
 
     def values(self, key: bytes) -> Iterator[bytes]:
@@ -507,7 +627,7 @@ class BPlusTree:
         self._ensure_open()
         key = bytes(key)
         leaf, idx = self._seek(key, True)
-        return leaf is not None and leaf.entries[idx][0] == key
+        return leaf is not None and leaf.key_at(idx) == key
 
     def range(
         self,
@@ -565,9 +685,9 @@ class BPlusTree:
         # key can be large — DocId trees store one entry per document).
         while True:
             leaf, idx = self._seek(key, True)
-            if leaf is None or leaf.entries[idx][0] != key:
+            if leaf is None or leaf.key_at(idx) != key:
                 return removed
-            if not self._delete_pair(leaf.entries[idx]):  # pragma: no cover
+            if not self._delete_pair(leaf.pair_at(idx)):  # pragma: no cover
                 return removed
             removed += 1
 
@@ -584,7 +704,7 @@ class BPlusTree:
             node = self._node(node.children[-1])
         assert isinstance(node, _Leaf)
         # The rightmost leaf can be empty only when the tree is empty.
-        return node.entries[-1] if node.entries else None
+        return node.pair_at(node.count - 1) if node.count else None
 
     def __len__(self) -> int:
         return self._count
@@ -751,20 +871,23 @@ class BPlusTree:
                         hi = node.seps[idx]
                     node = self._node(node.children[idx])
                 assert isinstance(node, _Leaf)
-                self._descent = _DescentSlot(
-                    self._structure_version, lo, hi, node.pid
+                slots = self._descents  # snapshot; swapped back as a whole
+                if len(slots) >= _DESCENT_SLOTS:
+                    slots = slots[len(slots) - _DESCENT_SLOTS + 1 :]
+                self._descents = slots + (
+                    _DescentSlot(self._structure_version, lo, hi, node.pid),
                 )
                 self.descent_misses += 1
             else:
                 self.descent_hits += 1
                 node = leaf
         assert isinstance(node, _Leaf)
-        idx = bisect_left(node.entries, bound)
+        idx = node.bisect_entries(bound)
         leaf: Optional[_Leaf] = node
         while leaf is not None:
-            entries = leaf.entries
-            while idx < len(entries):
-                ekey = entries[idx][0]
+            count = leaf.count
+            while idx < count:
+                ekey = leaf.key_at(idx)
                 if inclusive:
                     if ekey >= key:
                         return leaf, idx
@@ -776,35 +899,45 @@ class BPlusTree:
         return None, 0
 
     def _cached_descent(self, bound: Pair) -> Optional[_Leaf]:
-        """Re-validate the last descent: structure unchanged and ``bound``
-        still between the routing separators means the same leaf.
+        """Re-validate a recent descent: structure unchanged and ``bound``
+        between a remembered slot's routing separators means its leaf.
 
-        The slot is loaded exactly once (it may be swapped by another
-        seek at any moment) and its version is checked again *after* the
-        leaf fetch: a writer that bumped the structure version while the
-        page was being loaded invalidates the reuse, and the caller
-        retries with a full descent instead of trusting a stale leaf.
+        The slot tuple is loaded exactly once (it may be swapped by
+        another seek at any moment) and scanned newest-first; a matching
+        slot's version is checked again *after* the leaf fetch: a writer
+        that bumped the structure version while the page was being loaded
+        invalidates the reuse, and the caller retries with a full descent
+        instead of trusting a stale leaf.  A hit moves the slot to the
+        MRU end — the reorder swap can lose against a concurrent update,
+        which only costs eviction ordering, never correctness (a slot
+        resurrected past an invalidation carries a stale version and can
+        never validate).
         """
-        slot = self._descent  # single load of the atomically-swapped slot
-        if slot is None or slot.version != self._structure_version:
-            return None
-        if (slot.lo is None or slot.lo <= bound) and (
-            slot.hi is None or bound < slot.hi
-        ):
-            node = self._node(slot.pid)
+        slots = self._descents  # single load of the atomically-swapped tuple
+        for i in range(len(slots) - 1, -1, -1):
+            slot = slots[i]
             if slot.version != self._structure_version:
-                return None  # raced a structural change mid-fetch: retry
-            if isinstance(node, _Leaf):
+                continue
+            if (slot.lo is None or slot.lo <= bound) and (
+                slot.hi is None or bound < slot.hi
+            ):
+                node = self._node(slot.pid)
+                if slot.version != self._structure_version:
+                    return None  # raced a structural change mid-fetch: retry
+                if not isinstance(node, _Leaf):
+                    return None
+                if i != len(slots) - 1:
+                    self._descents = slots[:i] + slots[i + 1 :] + (slot,)
                 return node
         return None
 
     def _bump_structure_version(self) -> None:
         """Invalidate the descent cache (any split/merge/entry movement).
 
-        The slot is cleared *before* the version bump so a concurrent
-        reader can never pair the old slot with the new version number.
+        The slots are cleared *before* the version bump so a concurrent
+        reader can never pair an old slot with the new version number.
         """
-        self._descent = None
+        self._descents = ()
         self._structure_version += 1
 
     @property

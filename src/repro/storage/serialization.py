@@ -56,6 +56,7 @@ __all__ = [
     "decode_str",
     "encode_tuple",
     "decode_tuple",
+    "decode_items",
     "prefix_range_end",
 ]
 
@@ -188,28 +189,50 @@ def encode_tuple(items: Sequence) -> bytes:
     return b"".join(parts)
 
 
+def _decode_item(data: bytes, i: int) -> tuple[object, int]:
+    """Decode one tagged tuple item at offset ``i``."""
+    tag = data[i]
+    i += 1
+    if tag == _TAG_NONE:
+        return None, i
+    if tag == _TAG_INT:
+        return decode_int(data, i)
+    if tag == _TAG_BYTES:
+        return decode_bytes(data, i)
+    if tag == _TAG_STR:
+        return decode_str(data, i)
+    raise CodecError(f"unknown tuple tag {tag:#x} at offset {i - 1}")
+
+
 def decode_tuple(data: bytes) -> tuple:
     """Decode a tuple previously produced by :func:`encode_tuple`."""
     items: list = []
     i = 0
     n = len(data)
     while i < n:
-        tag = data[i]
-        i += 1
-        if tag == _TAG_NONE:
-            items.append(None)
-        elif tag == _TAG_INT:
-            value, i = decode_int(data, i)
-            items.append(value)
-        elif tag == _TAG_BYTES:
-            value, i = decode_bytes(data, i)
-            items.append(value)
-        elif tag == _TAG_STR:
-            value, i = decode_str(data, i)
-            items.append(value)
-        else:
-            raise CodecError(f"unknown tuple tag {tag:#x} at offset {i - 1}")
+        value, i = _decode_item(data, i)
+        items.append(value)
     return tuple(items)
+
+
+def decode_items(data: bytes, offset: int, count: int) -> tuple[tuple, int]:
+    """Decode exactly ``count`` tagged items starting at ``offset``.
+
+    Returns ``(items, next_offset)``.  This is the partial-decode
+    primitive behind the packed posting loader: every key of one
+    D-Ancestor group shares the same ``(symbol, prefix_len, leading)``
+    stem, so the loader decodes the stem's byte length once and then
+    peels only the per-key tail (wildcard labels + ``n``) with this —
+    instead of re-decoding the whole tuple per entry.
+    """
+    items: list = []
+    i = offset
+    for _ in range(count):
+        if i >= len(data):
+            raise CodecError(f"truncated tuple: expected {count} more item(s)")
+        value, i = _decode_item(data, i)
+        items.append(value)
+    return tuple(items), i
 
 
 def prefix_range_end(prefix: bytes) -> bytes:

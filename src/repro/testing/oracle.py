@@ -5,8 +5,9 @@ For each seed the oracle generates a corpus and a batch of queries
 query with the naive reference evaluator
 (:mod:`repro.testing.reference`), and then drives the whole index zoo:
 
-* **ViST in all 8 configurations** — posting cache on/off × batched
-  frontier matching on/off × FilePager/WalPager;
+* **ViST in all 12 configurations** — packed kernels on (posting cache
+  on/off × batched on/off × FilePager/WalPager) plus the plain fallback
+  path (posting cache on/off × batched on/off × FilePager);
 * **Naive** (Algorithm 1 on the materialised trie) and **RIST** (static
   labels);
 * the two join-based baselines (**PathIndex**, **XissIndex**), which are
@@ -20,7 +21,10 @@ Two equalities are asserted per query:
 * *raw*: the unverified subsequence-matching results of Naive, RIST and
   every ViST configuration agree with each other (they implement the
   same Algorithm 2 semantics, so any disagreement is a cache/traversal
-  bug even though raw results may legitimately differ from XPath).
+  bug even though raw results may legitimately differ from XPath).  The
+  comparison runs over :func:`repro.kernels.encode_columns` fingerprints
+  of the sorted position sets, so packed and plain configurations are
+  proven *byte identical*, not merely equal under Python ``==``.
 
 On the first divergence of a seed the failing case is **shrunk**
 (greedy: drop documents, prune document subtrees, simplify the query)
@@ -50,6 +54,7 @@ from repro.baselines.nodeindex import XissIndex
 from repro.baselines.pathindex import PathIndex
 from repro.doc.model import XmlNode
 from repro.index.naive import NaiveIndex
+from repro.kernels import encode_columns
 from repro.index.rist import RistIndex
 from repro.index.vist import VistIndex
 from repro.query.ast import QueryNode
@@ -71,26 +76,35 @@ __all__ = [
 
 @dataclass(frozen=True)
 class VistConfig:
-    """One point of the cache/traversal/pager configuration cube."""
+    """One point of the packed/cache/traversal/pager configuration cube."""
 
     posting_cache: bool
     batched: bool
     pager: str  # "file" | "wal"
+    packed: bool = True
 
     @property
     def name(self) -> str:
-        return "vist[{}+{}+{}]".format(
+        return "vist[{}+{}+{}+{}]".format(
+            "packed" if self.packed else "plain",
             "cache" if self.posting_cache else "nocache",
             "batched" if self.batched else "serial",
             self.pager,
         )
 
 
+# Packed kernels sweep the full cache × traversal × pager cube; the plain
+# fallback path sweeps cache × traversal on the file pager (the pager
+# choice is orthogonal to the packed representation).
 VIST_CONFIGS: tuple[VistConfig, ...] = tuple(
-    VistConfig(posting_cache=cache, batched=batched, pager=pager)
+    VistConfig(posting_cache=cache, batched=batched, pager=pager, packed=True)
     for cache in (True, False)
     for batched in (True, False)
     for pager in ("file", "wal")
+) + tuple(
+    VistConfig(posting_cache=cache, batched=batched, pager="file", packed=False)
+    for cache in (True, False)
+    for batched in (True, False)
 )
 
 
@@ -174,6 +188,7 @@ class DifferentialOracle:
             pager=pager,
             posting_cache_size=64 if config.posting_cache else 0,
             batched=config.batched,
+            packed=config.packed,
         )
         ids = index.add_all(corpus)
         return index, {doc_id: pos for pos, doc_id in enumerate(ids)}
@@ -232,10 +247,14 @@ class DifferentialOracle:
                 anchor_raw = self._positions(
                     anchor_index.query(query, verify=False), anchor_map
                 )
+                # byte-level equality: canonical column encoding of the
+                # sorted positions, so packed and plain configurations
+                # must agree byte for byte, not just under list ==
+                anchor_fp = encode_columns([anchor_raw])
                 for family in raw_families[1:]:
                     index, id_to_pos = indexes[family]
                     raw = self._positions(index.query(query, verify=False), id_to_pos)
-                    if raw != anchor_raw:
+                    if encode_columns([raw]) != anchor_fp:
                         divergences.append(
                             self._report(
                                 seed, family, "raw", corpus, query, anchor_raw, raw

@@ -1,0 +1,260 @@
+"""The packed-kernel seam: codecs, toggles, and packed/plain parity.
+
+Covers the three kernels of :mod:`repro.kernels` (the ``REPRO_PACKED``
+toggle, the int64 column packer, the column byte codec, the zero-copy
+leaf offset table) plus end-to-end parity: a ViST index queried with the
+packed columnar frontier must produce byte-identical answers *and*
+identical MatchStats to the plain tuple frontier.
+"""
+
+import struct
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.errors import CodecError
+from repro.index.matching import SequenceMatcher
+from repro.index.postings import PostingGroup
+from repro.index.vist import VistIndex
+from repro.labeling.scope import Scope
+from repro.sequence.transform import SequenceEncoder
+from repro.storage.bptree import _LEAF_HEADER
+from repro.testing.generator import DocQueryGenerator
+
+# encode_int magnitudes cap at 255 bytes -> |value| < 2**2040
+_MAX_MAGNITUDE = (1 << 2040) - 1
+_INT64_MAX = (1 << 63) - 1
+
+
+class TestPackedEnabled:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PACKED", raising=False)
+        assert kernels.packed_enabled()
+
+    def test_zero_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PACKED", "0")
+        assert not kernels.packed_enabled()
+
+    def test_other_values_enable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PACKED", "1")
+        assert kernels.packed_enabled()
+        monkeypatch.setenv("REPRO_PACKED", "yes")
+        assert kernels.packed_enabled()
+
+
+class TestPackInts:
+    def test_int64_values_pack_to_array(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PACKED", "1")
+        col = kernels.pack_ints([3, 1, 2, _INT64_MAX, -(1 << 63)])
+        assert isinstance(col, array)
+        assert col.typecode == "q"
+        assert list(col) == [3, 1, 2, _INT64_MAX, -(1 << 63)]
+
+    def test_oversized_values_fall_back_to_list(self):
+        values = [1, 2, 1 << 256]  # ViST labels routinely exceed int64
+        col = kernels.pack_ints(values)
+        assert isinstance(col, list)
+        assert col == values  # exact Python ints, no truncation
+
+    def test_disabled_returns_list(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PACKED", "0")
+        col = kernels.pack_ints([1, 2, 3])
+        assert isinstance(col, list)
+
+
+class TestColumnCodec:
+    def test_known_layout_fixed64(self):
+        data = kernels.encode_columns([[1, 2]])
+        assert kernels.decode_columns(data) == [[1, 2]]
+        # count=2 then the fixed64 mode byte then two little-endian words
+        assert struct.pack("<qq", 1, 2) in data
+
+    def test_wide_ints_use_varint_mode(self):
+        values = [0, -(1 << 200), _MAX_MAGNITUDE]
+        data = kernels.encode_columns([values])
+        assert kernels.decode_columns(data) == [values]
+
+    def test_empty_cases(self):
+        assert kernels.decode_columns(kernels.encode_columns([])) == []
+        assert kernels.decode_columns(kernels.encode_columns([[]])) == [[]]
+        assert kernels.decode_columns(kernels.encode_columns([[], [5]])) == [[], [5]]
+
+    def test_canonical_for_equal_inputs(self):
+        # list vs array inputs of the same values: identical bytes — the
+        # property the oracle's byte-fingerprint comparison rests on
+        a = kernels.encode_columns([[10, 20, 30]])
+        b = kernels.encode_columns([array("q", [10, 20, 30])])
+        assert a == b
+
+    def test_truncation_raises(self):
+        data = kernels.encode_columns([[1, 2, 3]])
+        with pytest.raises(CodecError):
+            kernels.decode_columns(data[:-1])
+
+    def test_trailing_bytes_raise(self):
+        data = kernels.encode_columns([[1]])
+        with pytest.raises(CodecError):
+            kernels.decode_columns(data + b"\x00")
+
+    def test_unknown_mode_raises(self):
+        data = bytearray(kernels.encode_columns([[1]]))
+        # the mode byte follows the ncols uint and the count uint
+        data[2] = 0x7F
+        with pytest.raises(CodecError):
+            kernels.decode_columns(bytes(data))
+
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=-_MAX_MAGNITUDE, max_value=_MAX_MAGNITUDE),
+                max_size=20,
+            ),
+            max_size=6,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_structural_identity(self, columns):
+        assert kernels.decode_columns(kernels.encode_columns(columns)) == columns
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.integers(min_value=-(1 << 63), max_value=_INT64_MAX),
+                st.integers(min_value=-_MAX_MAGNITUDE, max_value=_MAX_MAGNITUDE),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_mixed_width_column(self, values):
+        assert kernels.decode_columns(kernels.encode_columns([values])) == [values]
+
+
+class TestLeafCellOffsets:
+    @staticmethod
+    def _leaf_page(cells):
+        out = bytearray(struct.pack("<BHQ", 0x01, len(cells), 0))
+        for k, v in cells:
+            out += struct.pack("<HH", len(k), len(v)) + k + v
+        return bytes(out)
+
+    def test_offsets_reconstruct_cells(self):
+        cells = [(b"alpha", b"1"), (b"beta", b""), (b"", b"value-2")]
+        raw = self._leaf_page(cells)
+        offsets, end = kernels.leaf_cell_offsets(raw, len(cells), _LEAF_HEADER)
+        assert end == len(raw)
+        got = []
+        for j in range(0, len(offsets), 3):
+            base, klen, vlen = offsets[j], offsets[j + 1], offsets[j + 2]
+            got.append((raw[base : base + klen], raw[base + klen : base + klen + vlen]))
+        assert got == cells
+
+    def test_empty_page(self):
+        raw = self._leaf_page([])
+        offsets, end = kernels.leaf_cell_offsets(raw, 0, _LEAF_HEADER)
+        assert len(offsets) == 0
+        assert end == _LEAF_HEADER
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.binary(max_size=16),
+                st.binary(max_size=16),
+            ),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_end_equals_used_bytes(self, cells):
+        raw = self._leaf_page(cells)
+        offsets, end = kernels.leaf_cell_offsets(raw, len(cells), _LEAF_HEADER)
+        assert end == len(raw)
+        assert len(offsets) == 3 * len(cells)
+
+
+class TestPostingGroupColumns:
+    def test_columns_parallel_and_sorted(self):
+        postings = [
+            (("a", "b"), Scope(30, 5)),
+            (("a",), Scope(10, 2)),
+            (("c",), Scope(20, 0)),
+        ]
+        group = PostingGroup(postings)
+        assert list(group.ns) == [10, 20, 30]
+        assert list(group.ends) == [12, 20, 35]
+        assert group.prefixes == (("a",), ("c",), ("a", "b"))
+        assert group.entries == [
+            (("a",), Scope(10, 2)),
+            (("c",), Scope(20, 0)),
+            (("a", "b"), Scope(30, 5)),
+        ]
+
+    def test_select_span_matches_select(self):
+        group = PostingGroup([((), Scope(n, 0)) for n in [10, 20, 30, 40]])
+        lo, hi = group.select_span(10, 30)
+        assert [group.ns[i] for i in range(lo, hi)] == [20, 30]
+        assert [s.n for _, s in group.select(Scope(10, 20))] == [20, 30]
+
+    def test_prefixes_interned_across_groups(self):
+        a = PostingGroup([(("x", "y"), Scope(1, 0))])
+        b = PostingGroup([(("x", "y"), Scope(2, 0))])
+        assert a.prefixes[0] is b.prefixes[0]
+
+    def test_big_labels_keep_list_columns(self):
+        big = 1 << 200
+        group = PostingGroup([((), Scope(big, 3))])
+        assert isinstance(group.ns, list)
+        assert group.select(Scope(big - 1, 2)) == [((), Scope(big, 3))]
+
+
+class TestPackedPlainParity:
+    """Packed frontier vs plain tuple frontier: answers and stats equal."""
+
+    @pytest.fixture(scope="class")
+    def corpus_index(self):
+        generator = DocQueryGenerator(1234)
+        corpus = generator.corpus(8, 14)
+        index = VistIndex(SequenceEncoder())
+        index.add_all(corpus)
+        queries = [generator.query(corpus) for _ in range(12)]
+        return index, queries
+
+    def test_answers_and_stats_identical(self, corpus_index):
+        index, queries = corpus_index
+        packed = SequenceMatcher(index, packed=True)
+        plain = SequenceMatcher(index, packed=False)
+        compared = 0
+        for query in queries:
+            for qseq in index.translator.translate(query):
+                a = packed.final_scopes(qseq)
+                stats_a = packed.stats.snapshot()
+                b = plain.final_scopes(qseq)
+                stats_b = plain.stats.snapshot()
+                assert a == b
+                # cache hit/miss deltas differ run-to-run (shared posting
+                # cache warms up); every traversal counter must match
+                for field in (
+                    "range_queries",
+                    "candidates",
+                    "search_states",
+                    "final_nodes",
+                    "batched_states",
+                ):
+                    assert stats_a[field] == stats_b[field], (field, qseq)
+                # byte-identical under the canonical column encoding
+                assert kernels.encode_columns(
+                    [sorted(s.n for s in a)]
+                ) == kernels.encode_columns([sorted(s.n for s in b)])
+                compared += 1
+        assert compared >= 12
+
+    def test_match_results_identical(self, corpus_index):
+        index, queries = corpus_index
+        packed = SequenceMatcher(index, packed=True)
+        plain = SequenceMatcher(index, packed=False)
+        for query in queries[:6]:
+            for qseq in index.translator.translate(query):
+                assert packed.match(qseq) == plain.match(qseq)

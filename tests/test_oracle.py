@@ -1,7 +1,7 @@
 """The differential oracle: generator, reference evaluator, driver, shrinker.
 
 The tier-1 tests keep the sweep small; the CI correctness job runs the
-``slow``-marked sweep (>= 200 document/query pairs across all 8 ViST
+``slow``-marked sweep (>= 200 document/query pairs across all 12 ViST
 configurations plus Naive/RIST and the join baselines).
 """
 

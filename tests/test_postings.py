@@ -34,7 +34,7 @@ class TestPostingGroup:
     def test_sorted_by_n_and_select_bisects(self):
         entries = [((), Scope(n, 0)) for n in [40, 10, 30, 20]]
         group = PostingGroup(entries)
-        assert group.ns == [10, 20, 30, 40]
+        assert list(group.ns) == [10, 20, 30, 40]
         # S-Ancestor range is (n, n+size]: excludes n itself, includes end
         assert [s.n for _, s in group.select(Scope(10, 20))] == [20, 30]
         assert [s.n for _, s in group.select(Scope(0, 100))] == [10, 20, 30, 40]
